@@ -1,0 +1,57 @@
+"""F1 -- quantum variables, superpositions and register addition.
+
+Reproduces the paper's first showcase quantitatively: the ``+`` operator on
+``quint`` registers implements a correct quantum adder for basis states and
+superpositions, and the cost of the generated adder grows with the register
+width.  Series reported: correctness over a width sweep, gate count / depth
+of the generated circuit, and wall-clock time per addition.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import run_source
+
+WIDTHS = [2, 3, 4, 5, 6]
+
+
+def _addition_program(a: int, b: int) -> str:
+    return f"quint x = {a}q; quint y = {b}q; print x + y;"
+
+
+@pytest.mark.parametrize("width", WIDTHS)
+def test_addition_correct_for_every_width(width):
+    a = (1 << width) - 1          # largest value of this width
+    b = (1 << (width - 1)) | 1    # another width-sized value
+    result = run_source(_addition_program(a, b), seed=0)
+    assert result.printed == str(a + b)
+
+
+def test_superposition_addition_only_valid_sums():
+    source = "quint a = [1, 3]; quint b = [4, 8]; print a + b;"
+    valid = {"5", "7", "9", "11"}
+    observed = {run_source(source, seed=seed).printed for seed in range(30)}
+    assert observed <= valid
+    assert len(observed) >= 2  # genuinely probabilistic
+
+
+def test_fig1_series(report, benchmark):
+    rows = []
+    for width in WIDTHS:
+        a = (1 << width) - 1
+        b = 1
+        result = run_source(_addition_program(a, b), seed=0)
+        gates = sum(result.gate_counts.values())
+        rows.append([width, a + b, result.printed, gates, result.depth, result.num_qubits])
+        assert result.printed == str(a + b)
+    report(
+        "F1: quantum addition vs register width",
+        ["width (bits)", "expected", "measured", "gates", "depth", "qubits"],
+        rows,
+    )
+    # shape: circuit size grows monotonically with the operand width
+    gate_series = [row[3] for row in rows]
+    assert all(later >= earlier for earlier, later in zip(gate_series, gate_series[1:]))
+
+    benchmark(lambda: run_source(_addition_program(21, 13), seed=0))

@@ -1,0 +1,105 @@
+"""F2 -- Grover substring search (the Qutes ``in`` operator).
+
+Series reported: success probability and oracle-query count of the quantum
+search versus the classical linear-scan baseline, over a text-length sweep.
+The absolute numbers depend on the simulator, but the shape must hold:
+Grover succeeds with probability far above random guessing while issuing
+O(sqrt(N)) oracle queries, and the classical baseline needs O(N) character
+comparisons.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import run_source
+from repro.algorithms.grover import (
+    grover_substring_search,
+    optimal_iterations,
+    substring_match_positions,
+)
+
+TEXT_LENGTHS = [8, 12, 16, 24, 32]
+PATTERN = "111"
+
+
+def _random_text(length: int, rng: random.Random) -> str:
+    # sparse text (mostly zeros) with at least one planted occurrence of the
+    # pattern, so the marked fraction stays in Grover's amplification regime
+    text = [rng.choice("0001") for _ in range(length)]
+    pos = rng.randrange(0, length - len(PATTERN) + 1)
+    text[pos : pos + len(PATTERN)] = list(PATTERN)
+    return "".join(text)
+
+
+def _classical_scan_cost(text: str, pattern: str) -> int:
+    comparisons = 0
+    for start in range(len(text) - len(pattern) + 1):
+        for offset in range(len(pattern)):
+            comparisons += 1
+            if text[start + offset] != pattern[offset]:
+                break
+        else:
+            return comparisons
+    return comparisons
+
+
+def test_language_level_in_operator_finds_pattern():
+    source = '''
+        qustring text = "0110100111010110";
+        print "111" in text;
+    '''
+    assert run_source(source, seed=2).printed == "true"
+
+
+def test_language_level_in_operator_rejects_absent_pattern():
+    source = '''
+        qustring text = "0000000000";
+        print "111" in text;
+    '''
+    assert run_source(source, seed=2).printed == "false"
+
+
+@pytest.mark.parametrize("length", TEXT_LENGTHS)
+def test_grover_beats_random_guessing(length):
+    rng = random.Random(length)
+    text = _random_text(length, rng)
+    outcome = grover_substring_search(text, PATTERN, shots=256)
+    positions = substring_match_positions(text, PATTERN)
+    random_guess = len(positions) / max(1, length - len(PATTERN) + 1)
+    assert outcome.found
+    assert outcome.success_probability > min(0.95, 2 * random_guess)
+
+
+def test_fig2_series(report, benchmark):
+    rng = random.Random(7)
+    rows = []
+    for length in TEXT_LENGTHS:
+        text = _random_text(length, rng)
+        positions = substring_match_positions(text, PATTERN)
+        outcome = grover_substring_search(text, PATTERN, shots=512)
+        classical_cost = _classical_scan_cost(text, PATTERN)
+        rows.append(
+            [
+                length,
+                len(positions),
+                round(outcome.success_probability, 3),
+                outcome.oracle_queries,
+                classical_cost,
+                "yes" if outcome.found else "no",
+            ]
+        )
+        assert outcome.found
+    report(
+        "F2: Grover substring search vs classical scan",
+        ["text length", "matches", "success prob", "oracle queries", "classical comparisons", "found"],
+        rows,
+    )
+    # shape: quantum query count grows ~sqrt(N) -- much slower than N
+    last = rows[-1]
+    assert last[3] <= last[0]
+
+    text = _random_text(16, random.Random(3))
+    benchmark(lambda: grover_substring_search(text, PATTERN, shots=256))

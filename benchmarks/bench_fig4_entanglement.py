@@ -1,0 +1,69 @@
+"""F4 -- entanglement propagation along a qubit array.
+
+Series reported: end-to-end correlation and Bell-state fidelity of the
+(first, last) qubit pair after the entanglement-swapping chain, as a function
+of the chain length.  The shape to reproduce: both stay at 1.0 independent of
+the length (noise-free simulation), i.e. entanglement really propagates to
+qubits that never interacted.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import run_source
+from repro.algorithms.entanglement import (
+    entanglement_swapping_chain,
+    run_entanglement_propagation,
+)
+
+CHAIN_LENGTHS = [2, 4, 6, 8, 10]
+
+
+def test_language_level_bell_pair_correlation():
+    source = """
+        qubit left = |+>;
+        qubit right = |0>;
+        cx(left, right);
+        print left == right;
+    """
+    assert all(run_source(source, seed=seed).printed == "true" for seed in range(10))
+
+
+@pytest.mark.parametrize("length", CHAIN_LENGTHS)
+def test_propagation_correlation_is_perfect(length):
+    outcome = run_entanglement_propagation(length, shots=64)
+    assert outcome.correlation > 0.99
+    assert outcome.fidelity_with_bell > 0.99
+
+
+def test_chain_circuit_scales_linearly():
+    small = entanglement_swapping_chain(4)
+    large = entanglement_swapping_chain(10)
+    assert large.size() > small.size()
+    assert large.num_qubits == 10
+
+
+def test_fig4_series(report, benchmark):
+    rows = []
+    for length in CHAIN_LENGTHS:
+        outcome = run_entanglement_propagation(length, shots=96)
+        circuit = entanglement_swapping_chain(length)
+        rows.append(
+            [
+                length,
+                round(outcome.correlation, 4),
+                round(outcome.fidelity_with_bell, 4),
+                circuit.size(),
+                len(circuit.data) and circuit.depth(),
+            ]
+        )
+    report(
+        "F4: entanglement propagation vs chain length",
+        ["chain length", "end-to-end correlation", "Bell fidelity", "gates+measures", "depth"],
+        rows,
+    )
+    # shape: correlation flat at ~1.0 regardless of length
+    assert min(row[1] for row in rows) > 0.99
+
+    benchmark(lambda: run_entanglement_propagation(8, shots=32))

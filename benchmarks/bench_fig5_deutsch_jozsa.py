@@ -1,0 +1,78 @@
+"""F5 -- the Deutsch--Jozsa algorithm.
+
+Series reported: classification correctness and query counts (1 quantum
+oracle evaluation vs the ``2^(n-1) + 1`` worst-case deterministic classical
+queries) over a sweep of input sizes, plus the circuit cost of the generated
+program.  The shape to reproduce: the quantum side is always correct with a
+single query while the classical query count explodes exponentially.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import run_source
+from repro.algorithms.deutsch_jozsa import (
+    build_balanced_oracle,
+    build_constant_oracle,
+    classical_query_count,
+    deutsch_jozsa_circuit,
+    run_deutsch_jozsa,
+)
+
+INPUT_SIZES = [2, 3, 4, 6, 8, 10]
+
+BALANCED_PROGRAM = """
+    function void oracle(quint x, qubit y) { cx(x[0], y); cx(x[2], y); }
+    quint[3] x = 0q;
+    qubit y = |->;
+    hadamard x;
+    oracle(x, y);
+    hadamard x;
+    int reading = x;
+    if (reading == 0) { print "constant"; } else { print "balanced"; }
+"""
+
+CONSTANT_PROGRAM = BALANCED_PROGRAM.replace("{ cx(x[0], y); cx(x[2], y); }", "{ }")
+
+
+def test_language_level_balanced_oracle():
+    assert all(run_source(BALANCED_PROGRAM, seed=s).printed == "balanced" for s in range(5))
+
+
+def test_language_level_constant_oracle():
+    assert all(run_source(CONSTANT_PROGRAM, seed=s).printed == "constant" for s in range(5))
+
+
+@pytest.mark.parametrize("n", INPUT_SIZES)
+def test_classification_correct_for_all_sizes(n):
+    assert run_deutsch_jozsa(build_constant_oracle(n, 1)).is_constant
+    assert not run_deutsch_jozsa(build_balanced_oracle(n)).is_constant
+
+
+def test_fig5_series(report, benchmark):
+    rows = []
+    for n in INPUT_SIZES:
+        balanced = run_deutsch_jozsa(build_balanced_oracle(n))
+        constant = run_deutsch_jozsa(build_constant_oracle(n, 0))
+        circuit = deutsch_jozsa_circuit(build_balanced_oracle(n))
+        rows.append(
+            [
+                n,
+                "ok" if (not balanced.is_constant and constant.is_constant) else "WRONG",
+                balanced.quantum_queries,
+                classical_query_count(n),
+                circuit.size(),
+                circuit.depth(),
+            ]
+        )
+    report(
+        "F5: Deutsch-Jozsa quantum vs classical query count",
+        ["inputs n", "classification", "quantum queries", "classical queries", "gates", "depth"],
+        rows,
+    )
+    # shape: quantum query count flat at 1, classical grows exponentially
+    assert all(row[2] == 1 for row in rows)
+    assert rows[-1][3] == 2 ** (INPUT_SIZES[-1] - 1) + 1
+
+    benchmark(lambda: run_deutsch_jozsa(build_balanced_oracle(6)))

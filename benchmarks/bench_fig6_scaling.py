@@ -1,0 +1,68 @@
+"""F6 -- end-to-end scaling of the Qutes pipeline (the paper's closing plot).
+
+The paper's final figure is a data-size scaling plot.  Here the data size is
+the width of the quantum registers manipulated by a fixed hybrid program;
+the series reports total qubits, generated gate count and wall-clock time of
+the full pipeline (lex -> parse -> interpret -> simulate) as the width grows.
+The expected shape: cost grows with the statevector size, i.e. the curve
+bends upward with the register width (exponential statevector, polynomial
+gate count).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import run_source
+
+WIDTHS = [2, 3, 4, 5, 6, 7, 8]
+
+
+def _program(width: int) -> str:
+    value = (1 << width) - 1
+    return f"""
+        quint[{width}] a = {value}q;
+        quint b = a + {value};
+        quint c = b << 2;
+        hadamard a;
+        int result = c;
+        print result;
+    """
+
+
+@pytest.mark.parametrize("width", WIDTHS)
+def test_pipeline_runs_at_every_width(width):
+    result = run_source(_program(width), seed=1)
+    assert result.printed.isdigit()
+    assert result.num_qubits >= 2 * width
+
+
+def test_fig6_series(report, benchmark):
+    rows = []
+    for width in WIDTHS:
+        start = time.perf_counter()
+        result = run_source(_program(width), seed=1)
+        elapsed_ms = (time.perf_counter() - start) * 1000.0
+        rows.append(
+            [
+                width,
+                result.num_qubits,
+                sum(result.gate_counts.values()),
+                result.depth,
+                round(elapsed_ms, 2),
+            ]
+        )
+    report(
+        "F6: end-to-end pipeline cost vs register width",
+        ["width (bits)", "total qubits", "gates", "depth", "wall time (ms)"],
+        rows,
+    )
+    # shape: monotone growth of the circuit with the data size
+    qubit_series = [row[1] for row in rows]
+    gate_series = [row[2] for row in rows]
+    assert all(b >= a for a, b in zip(qubit_series, qubit_series[1:]))
+    assert gate_series[-1] > gate_series[0]
+
+    benchmark(lambda: run_source(_program(6), seed=1))

@@ -1,0 +1,109 @@
+"""T1 -- abstraction-level comparison (paper section 2.2).
+
+The paper's comparative analysis argues that Qutes programs stay short and
+high-level while compiling down to full gate-level circuits.  This harness
+quantifies that for the five showcase programs: source lines and token count
+of the Qutes program versus the number of gate-level instructions (and
+qubits) of the circuit it generates -- the circuit is what a user of a
+low-level framework would have had to write by hand.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import run_source
+from repro.lang.lexer import tokenize
+
+SHOWCASES = {
+    "quantum addition": """
+        quint a = 12q;
+        quint b = 30q;
+        quint total = a + b;
+        print total;
+    """,
+    "superposition addition": """
+        quint a = [1, 3];
+        quint b = [4, 8];
+        print a + b;
+    """,
+    "grover substring search": """
+        qustring text = "0110100111010110";
+        print "111" in text;
+    """,
+    "cyclic shift": """
+        quint[8] value = 137q;
+        print value << 3;
+    """,
+    "deutsch-jozsa": """
+        function void oracle(quint x, qubit y) { cx(x[0], y); cx(x[2], y); }
+        quint[3] x = 0q;
+        qubit y = |->;
+        hadamard x;
+        oracle(x, y);
+        hadamard x;
+        int reading = x;
+        if (reading == 0) { print "constant"; } else { print "balanced"; }
+    """,
+    "entanglement (bell pair)": """
+        qubit left = |+>;
+        qubit right = |0>;
+        cx(left, right);
+        print left == right;
+    """,
+}
+
+
+def _source_metrics(source: str) -> tuple:
+    lines = [line for line in source.splitlines() if line.strip() and not line.strip().startswith("//")]
+    tokens = [t for t in tokenize(source)][:-1]
+    return len(lines), len(tokens)
+
+
+def _circuit_metrics(source: str) -> tuple:
+    result = run_source(source, seed=5)
+    gates = sum(result.gate_counts.values())
+    return gates, result.num_qubits, result.depth
+
+
+@pytest.mark.parametrize("name", list(SHOWCASES))
+def test_abstraction_gap_per_showcase(name, report):
+    """Each showcase compiles from a handful of lines to a much larger circuit."""
+    source = SHOWCASES[name]
+    loc, tokens = _source_metrics(source)
+    gates, qubits, depth = _circuit_metrics(source)
+    report(
+        f"T1 / {name}",
+        ["qutes LoC", "qutes tokens", "generated gates", "qubits", "depth"],
+        [[loc, tokens, gates, qubits, depth]],
+    )
+    assert loc <= 12
+    # the generated gate-level program is (much) larger than its source
+    assert gates >= loc
+
+
+def test_table1_summary(report, benchmark):
+    benchmark(lambda: run_source(SHOWCASES["quantum addition"], seed=5))
+    rows = []
+    for name, source in SHOWCASES.items():
+        loc, tokens = _source_metrics(source)
+        gates, qubits, depth = _circuit_metrics(source)
+        ratio = round(gates / loc, 1)
+        rows.append([name, loc, tokens, gates, qubits, depth, ratio])
+    report(
+        "T1: Qutes source size vs generated circuit size",
+        ["showcase", "LoC", "tokens", "gates", "qubits", "depth", "gates/LoC"],
+        rows,
+    )
+    # shape check: on average a Qutes line expands to several circuit-level ops
+    assert sum(r[6] for r in rows) / len(rows) > 2.0
+
+
+def test_bench_compile_and_run_all_showcases(benchmark):
+    """Wall-clock of compiling + executing every showcase once."""
+
+    def run_all():
+        for source in SHOWCASES.values():
+            run_source(source, seed=5)
+
+    benchmark(run_all)

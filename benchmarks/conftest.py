@@ -1,0 +1,26 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every ``bench_*`` module regenerates one table or figure of the paper's
+evaluation (see DESIGN.md section 4 and EXPERIMENTS.md).  Benchmarks print
+their data series to stdout (run with ``pytest benchmarks/ --benchmark-only -s``
+to see them) and use ``pytest-benchmark`` for the timing component.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def print_table(title: str, header: list, rows: list) -> None:
+    """Render a small aligned table to stdout (shown with ``-s``)."""
+    widths = [max(len(str(h)), *(len(str(r[i])) for r in rows)) for i, h in enumerate(header)]
+    print(f"\n--- {title} ---")
+    print("  " + "  ".join(str(h).rjust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        print("  " + "  ".join(str(c).rjust(w) for c, w in zip(row, widths)))
+
+
+@pytest.fixture(scope="session")
+def report():
+    """The table printer, exposed as a fixture for the bench modules."""
+    return print_table

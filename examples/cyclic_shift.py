@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Cyclic shift of a quantum register in constant depth (paper showcase).
+
+The Qutes ``<<`` / ``>>`` operators rotate a quantum register.  Following the
+Faro--Pavone--Viola construction, the rotation is free at the logical level
+(a relabelling of which qubit holds which position); when an explicit circuit
+is required (hardware execution, QASM export) the same permutation is a SWAP
+network of constant depth -- at most three layers of disjoint SWAPs --
+independent of the register size, in contrast with the linear-time classical
+shift.
+"""
+
+from repro import run_source
+from repro.arithmetic.rotations import rotation_circuit, rotation_depth
+from repro.qsim.transpiler import two_qubit_gate_count
+
+QUTES_PROGRAM_TEMPLATE = """
+    quint[{width}] value = {start}q;
+    quint rotated = value + 0;     // copy through quantum addition
+    print rotated << {amount};     // constant-time cyclic rotation
+"""
+
+
+def language_level() -> None:
+    print("=== Qutes language level ===")
+    cases = [
+        {"width": 4, "start": 1, "amount": 1},
+        {"width": 4, "start": 1, "amount": 3},
+        {"width": 6, "start": 5, "amount": 2},
+        {"width": 8, "start": 129, "amount": 4},
+    ]
+    for case in cases:
+        source = QUTES_PROGRAM_TEMPLATE.format(**case)
+        result = run_source(source, seed=1)
+        print(f"  rotate-left value {case['start']} (width {case['width']}) "
+              f"by {case['amount']} -> {result.printed}")
+    print()
+
+
+def classical_shift_cost(n: int) -> int:
+    """A classical cyclic shift touches every element once: O(n)."""
+    return n
+
+
+def library_level() -> None:
+    print("=== circuit depth of the rotation instruction ===")
+    print(f"  {'register size':>14s} {'swap-network depth':>20s} "
+          f"{'cx count (lowered)':>20s} {'classical O(n) cost':>20s}")
+    for n in (4, 6, 8, 12, 16, 20, 24):
+        circuit = rotation_circuit(n, 3)
+        print(f"  {n:14d} {rotation_depth(n, 3):20d} "
+              f"{two_qubit_gate_count(circuit):20d} {classical_shift_cost(n):20d}")
+    print()
+    print("  Depth stays flat (<= 3 SWAP layers) while the classical cost and")
+    print("  the total gate count grow linearly -- the rotation is constant-depth.")
+
+
+if __name__ == "__main__":
+    language_level()
+    library_level()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Entanglement propagation along an array of qubits (paper showcase).
+
+Entanglement swapping entangles the two end qubits of a chain even though
+they never interact: Bell pairs are prepared on neighbouring qubits, every
+interior junction is Bell-measured, and Pauli corrections conditioned on the
+outcomes re-establish the Phi+ state on the (first, last) pair.
+"""
+
+from repro import run_source
+from repro.algorithms.entanglement import run_entanglement_propagation
+
+# Language-level illustration: Bell pairs from the cx() builtin.  The full
+# swapping chain needs classical feed-forward on the Bell-measurement
+# outcomes, which the runtime performs on its live statevector (library level
+# below); here we show that the language's measurements expose the Bell
+# correlations directly.
+QUTES_BELL_PROGRAM = """
+    qubit left = |+>;
+    qubit right = |0>;
+    cx(left, right);          // (left, right) is now the Phi+ Bell pair
+    bool l = left;            // automatic measurement
+    bool r = right;
+    print l == r;             // perfectly correlated -> always true
+"""
+
+
+def language_level() -> None:
+    print("=== Qutes language level: Bell-pair correlations ===")
+    agreements = 0
+    runs = 10
+    for seed in range(runs):
+        result = run_source(QUTES_BELL_PROGRAM, seed=seed)
+        agreements += result.printed == "true"
+    print(f"  {agreements}/{runs} runs measured identical values on both ends")
+    print()
+
+
+def library_level() -> None:
+    print("=== entanglement swapping chain ===")
+    print(f"  {'chain length':>12s} {'end-to-end correlation':>24s} {'Bell fidelity':>14s}")
+    for length in (2, 4, 6, 8, 10):
+        outcome = run_entanglement_propagation(length, shots=128)
+        print(f"  {length:12d} {outcome.correlation:24.3f} {outcome.fidelity_with_bell:14.3f}")
+    print()
+    print("  A correlation of 1.0 independent of the chain length is the")
+    print("  signature of successful entanglement propagation.")
+
+
+if __name__ == "__main__":
+    language_level()
+    library_level()

@@ -1,0 +1,12 @@
+"""Shim for legacy editable installs (`pip install -e . --no-use-pep517`).
+
+The runtime environment of this reproduction is fully offline and ships a
+setuptools without the ``wheel`` package, so the PEP-517 editable path is
+unavailable; keeping this file lets ``pip install -e .`` fall back to the
+classic ``setup.py develop`` route.  All project metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

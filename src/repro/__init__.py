@@ -1,0 +1,59 @@
+"""Reproduction of "Qutes: A High-Level Quantum Programming Language for
+Simplified Quantum Computing" (Faro, Marino, Messina -- HPDC 2025).
+
+Layout
+------
+* :mod:`repro.qsim` -- NumPy statevector simulator, circuit IR, transpiler and
+  OpenQASM export (the substrate replacing Qiskit / Aer).
+* :mod:`repro.arithmetic` -- quantum adders, comparator, multiplier, QFT and
+  the constant-depth cyclic-rotation construction.
+* :mod:`repro.algorithms` -- Grover search (incl. substring search),
+  Deutsch--Jozsa, entanglement swapping, phase estimation, state preparation.
+* :mod:`repro.lang` -- the Qutes language itself: lexer, parser, type system,
+  ``QuantumCircuitHandler``, ``TypeCastingHandler`` and the two-pass
+  interpreter (the paper's primary contribution).
+* :mod:`repro.cli` -- the ``qutes`` command-line runner.
+
+Quickstart
+----------
+>>> from repro import run_source
+>>> result = run_source('''
+...     quint a = 5q;
+...     quint b = 3q;
+...     quint c = a + b;
+...     print c;
+... ''', seed=1)
+>>> result.printed
+'8'
+"""
+
+from .lang import (
+    CompiledProgram,
+    QutesError,
+    QutesExecutionResult,
+    QutesNameError,
+    QutesRuntimeError,
+    QutesSyntaxError,
+    QutesTypeError,
+    compile_source,
+    parse_source,
+    run_file,
+    run_source,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "run_source",
+    "run_file",
+    "compile_source",
+    "parse_source",
+    "CompiledProgram",
+    "QutesExecutionResult",
+    "QutesError",
+    "QutesSyntaxError",
+    "QutesTypeError",
+    "QutesNameError",
+    "QutesRuntimeError",
+]

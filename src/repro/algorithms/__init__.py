@@ -1,0 +1,95 @@
+"""Quantum algorithm library backing the Qutes language built-ins.
+
+* :mod:`repro.algorithms.superposition` -- state preparation helpers,
+* :mod:`repro.algorithms.grover` -- Grover search and the substring-search
+  oracle behind the Qutes ``in`` operator,
+* :mod:`repro.algorithms.deutsch_jozsa` -- the Deutsch--Jozsa algorithm,
+* :mod:`repro.algorithms.entanglement` -- Bell pairs and the entanglement
+  swapping chain used by the entanglement-propagation showcase,
+* :mod:`repro.algorithms.phase_estimation` -- quantum phase estimation.
+"""
+
+from .superposition import (
+    amplitudes_for_values,
+    build_value_superposition,
+    build_uniform_superposition,
+)
+from .grover import (
+    GroverResult,
+    build_phase_oracle,
+    build_diffusion,
+    grover_circuit,
+    grover_search,
+    optimal_iterations,
+    substring_match_positions,
+    grover_substring_search,
+)
+from .deutsch_jozsa import (
+    DeutschJozsaResult,
+    build_balanced_oracle,
+    build_constant_oracle,
+    build_oracle_from_function,
+    deutsch_jozsa_circuit,
+    run_deutsch_jozsa,
+    classical_query_count,
+)
+from .entanglement import (
+    build_bell_pair,
+    bell_pair_circuit,
+    entanglement_swapping_chain,
+    ghz_circuit,
+    run_entanglement_propagation,
+    w_state_circuit,
+)
+from .phase_estimation import phase_estimation_circuit, estimate_phase
+from .bernstein_vazirani import (
+    BernsteinVaziraniResult,
+    bernstein_vazirani_circuit,
+    build_bv_oracle,
+    run_bernstein_vazirani,
+)
+from .teleportation import TeleportationResult, teleport_state, teleportation_circuit
+from .simon import SimonResult, build_simon_oracle, run_simon, simon_circuit, solve_gf2
+from .minimum_finding import MinimumFindingResult, find_maximum, find_minimum
+
+__all__ = [
+    "MinimumFindingResult",
+    "find_minimum",
+    "find_maximum",
+    "BernsteinVaziraniResult",
+    "bernstein_vazirani_circuit",
+    "build_bv_oracle",
+    "run_bernstein_vazirani",
+    "TeleportationResult",
+    "teleport_state",
+    "teleportation_circuit",
+    "SimonResult",
+    "build_simon_oracle",
+    "run_simon",
+    "simon_circuit",
+    "solve_gf2",
+    "amplitudes_for_values",
+    "build_value_superposition",
+    "build_uniform_superposition",
+    "GroverResult",
+    "build_phase_oracle",
+    "build_diffusion",
+    "grover_circuit",
+    "grover_search",
+    "optimal_iterations",
+    "substring_match_positions",
+    "grover_substring_search",
+    "DeutschJozsaResult",
+    "build_balanced_oracle",
+    "build_constant_oracle",
+    "build_oracle_from_function",
+    "deutsch_jozsa_circuit",
+    "run_deutsch_jozsa",
+    "classical_query_count",
+    "build_bell_pair",
+    "bell_pair_circuit",
+    "entanglement_swapping_chain",
+    "run_entanglement_propagation",
+    "phase_estimation_circuit",
+    "estimate_phase",
+]

@@ -1,0 +1,94 @@
+"""Quantum teleportation.
+
+Transfers an arbitrary single-qubit state from Alice to Bob using one shared
+Bell pair and two classical bits.  Like the entanglement-propagation
+showcase, the protocol requires classical feed-forward, so the driver runs on
+a live statevector (exactly how the Qutes runtime executes it) while the
+circuit builder exposes the unitary + measurement part for inspection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..qsim import gates
+from ..qsim.circuit import QuantumCircuit
+from ..qsim.exceptions import SimulationError
+from ..qsim.registers import ClassicalRegister, QuantumRegister
+from ..qsim.statevector import Statevector
+
+__all__ = ["TeleportationResult", "teleportation_circuit", "teleport_state"]
+
+
+@dataclass
+class TeleportationResult:
+    """Outcome of one teleportation run."""
+
+    fidelity: float
+    alice_bits: Tuple[int, int]
+    success: bool
+
+
+def teleportation_circuit() -> QuantumCircuit:
+    """The standard three-qubit teleportation circuit (without corrections).
+
+    Qubit 0 holds the payload, qubits 1-2 the shared Bell pair; the two
+    measurements produce the classical bits Bob's corrections depend on.
+    """
+    payload = QuantumRegister(1, "payload")
+    alice = QuantumRegister(1, "alice")
+    bob = QuantumRegister(1, "bob")
+    creg = ClassicalRegister(2, "alice_bits")
+    qc = QuantumCircuit(payload, alice, bob, creg, name="teleport")
+    qc.h(alice[0])
+    qc.cx(alice[0], bob[0])
+    qc.cx(payload[0], alice[0])
+    qc.h(payload[0])
+    qc.measure([payload[0], alice[0]], [creg[0], creg[1]])
+    return qc
+
+
+def teleport_state(
+    amplitudes,
+    seed: Optional[int] = 17,
+) -> TeleportationResult:
+    """Teleport the single-qubit state *amplitudes* and report the fidelity."""
+    amplitudes = np.asarray(amplitudes, dtype=complex).ravel()
+    if amplitudes.size != 2:
+        raise SimulationError("teleportation payload must be a single-qubit state")
+    norm = np.linalg.norm(amplitudes)
+    if norm < 1e-12:
+        raise SimulationError("payload state must be non-zero")
+    amplitudes = amplitudes / norm
+
+    rng = np.random.default_rng(seed)
+    state = Statevector.zero_state(3)
+    state.initialize_qubits(amplitudes, [0])
+    # shared Bell pair between qubits 1 (Alice) and 2 (Bob)
+    state.apply_unitary(gates.H, [1])
+    state.apply_unitary(gates.CX, [1, 2])
+    # Alice's Bell measurement of (payload, her half)
+    state.apply_unitary(gates.CX, [0, 1])
+    state.apply_unitary(gates.H, [0])
+    m_phase = state.measure([0], rng=rng)
+    m_parity = state.measure([1], rng=rng)
+    # Bob's corrections
+    if m_parity:
+        state.apply_unitary(gates.X, [2])
+    if m_phase:
+        state.apply_unitary(gates.Z, [2])
+
+    # Bob's qubit is pure (the other two are collapsed): extract and compare.
+    bob_amplitudes = np.zeros(2, dtype=complex)
+    for index in np.nonzero(np.abs(state.data) > 1e-12)[0]:
+        bob_amplitudes[(int(index) >> 2) & 1] += state.data[index]
+    bob_amplitudes /= np.linalg.norm(bob_amplitudes)
+    fidelity = float(abs(np.vdot(amplitudes, bob_amplitudes)) ** 2)
+    return TeleportationResult(
+        fidelity=fidelity,
+        alice_bits=(m_phase, m_parity),
+        success=fidelity > 1 - 1e-9,
+    )

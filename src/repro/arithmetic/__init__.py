@@ -1,0 +1,47 @@
+"""Quantum arithmetic substrate.
+
+Circuit families used by the Qutes language built-ins:
+
+* :mod:`repro.arithmetic.qft` -- quantum Fourier transform,
+* :mod:`repro.arithmetic.adder` -- Cuccaro ripple-carry and Draper QFT adders,
+* :mod:`repro.arithmetic.comparator` -- carry-based magnitude comparison,
+* :mod:`repro.arithmetic.multiplier` -- Fourier-basis multiplier,
+* :mod:`repro.arithmetic.rotations` -- constant-depth cyclic register rotation
+  (the Faro--Pavone--Viola construction used by the Qutes shift operators).
+"""
+
+from .qft import build_qft, build_iqft, qft_circuit
+from .adder import (
+    build_ripple_carry_adder,
+    build_draper_adder,
+    build_constant_adder,
+    ripple_carry_adder_circuit,
+    draper_adder_circuit,
+)
+from .comparator import build_greater_than, comparator_circuit
+from .multiplier import build_fourier_multiplier, multiplier_circuit
+from .rotations import (
+    rotate_indices,
+    build_rotation_circuit,
+    rotation_circuit,
+    rotation_depth,
+)
+
+__all__ = [
+    "build_qft",
+    "build_iqft",
+    "qft_circuit",
+    "build_ripple_carry_adder",
+    "build_draper_adder",
+    "build_constant_adder",
+    "ripple_carry_adder_circuit",
+    "draper_adder_circuit",
+    "build_greater_than",
+    "comparator_circuit",
+    "build_fourier_multiplier",
+    "multiplier_circuit",
+    "rotate_indices",
+    "build_rotation_circuit",
+    "rotation_circuit",
+    "rotation_depth",
+]

@@ -1,0 +1,79 @@
+"""Quantum magnitude comparator.
+
+Uses the carry trick: the carry-out of ``a + NOT(b)`` over ``n`` bits equals
+``1`` exactly when ``a > b``.  The construction runs the MAJ half of a
+Cuccaro adder to compute the top carry, copies it into the result qubit, and
+then un-computes, leaving both operand registers unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..qsim.circuit import QuantumCircuit
+from ..qsim.exceptions import CircuitError
+from ..qsim.registers import QuantumRegister
+from .adder import _maj, _uma
+
+__all__ = ["build_greater_than", "comparator_circuit"]
+
+
+def build_greater_than(
+    circuit: QuantumCircuit,
+    a_qubits: Sequence,
+    b_qubits: Sequence,
+    result_qubit,
+    carry_qubit,
+) -> QuantumCircuit:
+    """Append a circuit setting ``result ^= (a > b)`` onto *circuit*.
+
+    ``carry_qubit`` is an ancilla that must start in |0> and is restored.
+    Both operand registers are left unchanged.
+    """
+    a_qubits = list(a_qubits)
+    b_qubits = list(b_qubits)
+    if len(a_qubits) != len(b_qubits):
+        raise CircuitError("comparator requires equally sized registers")
+    n = len(a_qubits)
+    if n == 0:
+        raise CircuitError("cannot compare empty registers")
+
+    for qb in b_qubits:
+        circuit.x(qb)
+
+    _maj(circuit, carry_qubit, b_qubits[0], a_qubits[0])
+    for i in range(1, n):
+        _maj(circuit, a_qubits[i - 1], b_qubits[i], a_qubits[i])
+
+    circuit.cx(a_qubits[n - 1], result_qubit)
+
+    for i in reversed(range(1, n)):
+        _reverse_maj(circuit, a_qubits[i - 1], b_qubits[i], a_qubits[i])
+    _reverse_maj(circuit, carry_qubit, b_qubits[0], a_qubits[0])
+
+    for qb in b_qubits:
+        circuit.x(qb)
+    return circuit
+
+
+def _reverse_maj(circuit: QuantumCircuit, c, b, a) -> None:
+    # exact inverse of the MAJ gate sequence (all constituent gates are
+    # self-inverse, so reversing the order suffices)
+    circuit.ccx(c, b, a)
+    circuit.cx(a, c)
+    circuit.cx(a, b)
+
+
+def comparator_circuit(num_bits: int) -> QuantumCircuit:
+    """Standalone ``a > b`` comparator.
+
+    Registers, in order: ``a``, ``b`` (*num_bits* each), ``res`` (1 qubit
+    receiving the comparison), ``anc`` (1 ancilla).
+    """
+    a = QuantumRegister(num_bits, "a")
+    b = QuantumRegister(num_bits, "b")
+    res = QuantumRegister(1, "res")
+    anc = QuantumRegister(1, "anc")
+    qc = QuantumCircuit(a, b, res, anc, name=f"greater_than_{num_bits}")
+    build_greater_than(qc, list(a), list(b), res[0], anc[0])
+    return qc

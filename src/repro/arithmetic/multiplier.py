@@ -1,0 +1,60 @@
+"""Fourier-basis (QFT) multiplier.
+
+Computes ``prod <- prod + a * b (mod 2^m)`` out of place: the product
+register accumulates, so starting it in |0> yields the plain product.  Each
+pair of operand bits contributes a doubly-controlled phase in the Fourier
+basis of the product register, which keeps the construction ancilla-free.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from ..qsim.circuit import QuantumCircuit
+from ..qsim.exceptions import CircuitError
+from ..qsim.registers import QuantumRegister
+from .qft import build_iqft, build_qft
+
+__all__ = ["build_fourier_multiplier", "multiplier_circuit"]
+
+
+def build_fourier_multiplier(
+    circuit: QuantumCircuit,
+    a_qubits: Sequence,
+    b_qubits: Sequence,
+    product_qubits: Sequence,
+) -> QuantumCircuit:
+    """Append ``product <- product + a*b (mod 2^m)`` onto *circuit*."""
+    a_qubits = list(a_qubits)
+    b_qubits = list(b_qubits)
+    product_qubits = list(product_qubits)
+    m = len(product_qubits)
+    if m == 0:
+        raise CircuitError("product register must not be empty")
+
+    build_qft(circuit, product_qubits, do_swaps=False)
+    # After the no-swap QFT, product qubit j carries phase
+    # 2*pi*(p mod 2^(j+1))/2^(j+1); adding a*b means adding, for every pair of
+    # set operand bits (i, k), the value 2^(i+k) -- i.e. a phase
+    # pi / 2^(j - i - k) on every product qubit j >= i + k.
+    for i in range(len(a_qubits)):
+        for k in range(len(b_qubits)):
+            shift = i + k
+            for j in range(shift, m):
+                angle = math.pi / (2 ** (j - shift))
+                circuit.mcp(angle, [a_qubits[i], b_qubits[k]], product_qubits[j])
+    build_iqft(circuit, product_qubits, do_swaps=False)
+    return circuit
+
+
+def multiplier_circuit(num_bits: int, product_bits: int | None = None) -> QuantumCircuit:
+    """Standalone multiplier with registers ``a``, ``b`` and ``prod``."""
+    if product_bits is None:
+        product_bits = 2 * num_bits
+    a = QuantumRegister(num_bits, "a")
+    b = QuantumRegister(num_bits, "b")
+    prod = QuantumRegister(product_bits, "prod")
+    qc = QuantumCircuit(a, b, prod, name=f"fourier_mul_{num_bits}")
+    build_fourier_multiplier(qc, list(a), list(b), list(prod))
+    return qc

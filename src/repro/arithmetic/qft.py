@@ -1,0 +1,57 @@
+"""Quantum Fourier transform circuits.
+
+Registers are little-endian (qubit 0 is the least-significant bit of the
+encoded integer), matching the rest of the package.  ``build_qft`` maps the
+basis state |x> to ``(1/sqrt(2^n)) * sum_y exp(2 pi i x y / 2^n) |y>``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from ..qsim.circuit import QuantumCircuit
+
+__all__ = ["build_qft", "build_iqft", "qft_circuit", "iqft_circuit"]
+
+
+def build_qft(circuit: QuantumCircuit, qubits: Sequence, do_swaps: bool = True) -> QuantumCircuit:
+    """Append a QFT over *qubits* (little-endian) to *circuit*."""
+    qubits = list(qubits)
+    n = len(qubits)
+    for j in reversed(range(n)):
+        circuit.h(qubits[j])
+        for k in range(j):
+            angle = math.pi / (2 ** (j - k))
+            circuit.cp(angle, qubits[k], qubits[j])
+    if do_swaps:
+        for i in range(n // 2):
+            circuit.swap(qubits[i], qubits[n - 1 - i])
+    return circuit
+
+
+def build_iqft(circuit: QuantumCircuit, qubits: Sequence, do_swaps: bool = True) -> QuantumCircuit:
+    """Append the inverse QFT over *qubits* to *circuit*."""
+    qubits = list(qubits)
+    n = len(qubits)
+    if do_swaps:
+        for i in range(n // 2):
+            circuit.swap(qubits[i], qubits[n - 1 - i])
+    for j in range(n):
+        for k in reversed(range(j)):
+            angle = -math.pi / (2 ** (j - k))
+            circuit.cp(angle, qubits[k], qubits[j])
+        circuit.h(qubits[j])
+    return circuit
+
+
+def qft_circuit(num_qubits: int, do_swaps: bool = True) -> QuantumCircuit:
+    """Standalone QFT circuit on *num_qubits* qubits."""
+    qc = QuantumCircuit(num_qubits, name=f"qft_{num_qubits}")
+    return build_qft(qc, list(range(num_qubits)), do_swaps=do_swaps)
+
+
+def iqft_circuit(num_qubits: int, do_swaps: bool = True) -> QuantumCircuit:
+    """Standalone inverse-QFT circuit on *num_qubits* qubits."""
+    qc = QuantumCircuit(num_qubits, name=f"iqft_{num_qubits}")
+    return build_iqft(qc, list(range(num_qubits)), do_swaps=do_swaps)

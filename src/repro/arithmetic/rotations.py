@@ -1,0 +1,80 @@
+"""Cyclic rotation of quantum registers.
+
+The paper's cyclic-shift instruction builds on the constant-depth rotation
+construction of Faro, Pavone and Viola: a cyclic rotation is the composition
+of three reversals, and each reversal is a single layer of disjoint SWAP
+gates, so the whole permutation has constant circuit depth (at most three
+SWAP layers) independent of the register size.  This module provides
+
+* :func:`rotate_indices` -- the zero-gate variant that simply relabels which
+  physical qubit holds which logical position (what the Qutes runtime uses
+  for ``<<`` / ``>>`` by default), and
+* :func:`build_rotation_circuit` -- the explicit SWAP-network circuit, used
+  when a materialised circuit is required (e.g. for QASM export or for the
+  depth measurements of the cyclic-shift benchmark).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..qsim.circuit import QuantumCircuit
+from ..qsim.exceptions import CircuitError
+from ..qsim.registers import QuantumRegister
+
+__all__ = ["rotate_indices", "build_rotation_circuit", "rotation_circuit", "rotation_depth"]
+
+
+def rotate_indices(qubits: Sequence, k: int) -> List:
+    """Return the qubit list after a cyclic left rotation by *k* positions.
+
+    Position ``i`` of the result holds what was at position ``(i + k) % n``,
+    so the *value* encoded little-endian in the register is rotated right by
+    ``k`` bit positions.  No gates are emitted: this is the O(1) logical
+    relabelling the language runtime performs.
+    """
+    qubits = list(qubits)
+    n = len(qubits)
+    if n == 0:
+        return []
+    k %= n
+    return qubits[k:] + qubits[:k]
+
+
+def _reversal_layer(circuit: QuantumCircuit, qubits: Sequence) -> None:
+    qubits = list(qubits)
+    for i in range(len(qubits) // 2):
+        circuit.swap(qubits[i], qubits[len(qubits) - 1 - i])
+
+
+def build_rotation_circuit(circuit: QuantumCircuit, qubits: Sequence, k: int) -> QuantumCircuit:
+    """Append a cyclic left rotation by *k* of *qubits* as a SWAP network.
+
+    Implemented as three reversals (``reverse(0..k-1)``, ``reverse(k..n-1)``,
+    ``reverse(0..n-1)``), i.e. at most three constant-depth layers of
+    disjoint SWAP gates regardless of the register width.
+    """
+    qubits = list(qubits)
+    n = len(qubits)
+    if n == 0:
+        raise CircuitError("cannot rotate an empty register")
+    k %= n
+    if k == 0:
+        return circuit
+    _reversal_layer(circuit, qubits[:k])
+    _reversal_layer(circuit, qubits[k:])
+    _reversal_layer(circuit, qubits)
+    return circuit
+
+
+def rotation_circuit(num_qubits: int, k: int) -> QuantumCircuit:
+    """Standalone rotation circuit on a register named ``r``."""
+    reg = QuantumRegister(num_qubits, "r")
+    qc = QuantumCircuit(reg, name=f"rot_{num_qubits}_{k}")
+    build_rotation_circuit(qc, list(reg), k)
+    return qc
+
+
+def rotation_depth(num_qubits: int, k: int) -> int:
+    """Circuit depth (in SWAP layers) of the explicit rotation network."""
+    return rotation_circuit(num_qubits, k).depth()

@@ -1,0 +1,81 @@
+"""Command-line runner: ``qutes program.qut``.
+
+Options mirror what a user of the original implementation gets from its
+runner scripts: print the program output, optionally dump the generated
+circuit (text or OpenQASM 2.0) and the final values of global variables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .lang import QutesError, run_file
+from .qsim.qasm import to_qasm
+
+__all__ = ["main", "build_arg_parser"]
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed separately for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="qutes",
+        description="Run a Qutes program on the bundled statevector simulator.",
+    )
+    parser.add_argument("program", help="path to the .qut source file")
+    parser.add_argument("--seed", type=int, default=None, help="RNG seed for measurements")
+    parser.add_argument("--shots", type=int, default=1024, help="shots used by sample()")
+    parser.add_argument("--show-circuit", action="store_true", help="print the logged circuit")
+    parser.add_argument("--qasm", action="store_true", help="print the OpenQASM 2.0 export")
+    parser.add_argument("--show-variables", action="store_true", help="print final global variables")
+    parser.add_argument("--ast", action="store_true", help="print the parsed AST and exit")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point used by the ``qutes`` console script."""
+    args = build_arg_parser().parse_args(argv)
+    if args.ast:
+        from .lang.ast_printer import dump_ast
+        from .lang.parser import parse
+
+        try:
+            with open(args.program, "r", encoding="utf-8") as handle:
+                print(dump_ast(parse(handle.read())))
+            return 0
+        except FileNotFoundError:
+            print(f"error: no such file: {args.program}", file=sys.stderr)
+            return 2
+        except QutesError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+    try:
+        result = run_file(args.program, shots=args.shots, seed=args.seed)
+    except FileNotFoundError:
+        print(f"error: no such file: {args.program}", file=sys.stderr)
+        return 2
+    except QutesError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    if result.output:
+        print(result.printed)
+    if args.show_variables:
+        print("--- variables ---")
+        for name, value in result.variables.items():
+            print(f"{name} = {value}")
+    if args.show_circuit:
+        print("--- circuit ---")
+        print(result.circuit.draw())
+    if args.qasm:
+        print("--- qasm ---")
+        try:
+            print(to_qasm(result.circuit))
+        except Exception as exc:  # Initialize-based states have no QASM2 form
+            print(f"(cannot export to OpenQASM 2.0: {exc})", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

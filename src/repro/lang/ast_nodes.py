@@ -1,0 +1,281 @@
+"""Abstract syntax tree node definitions.
+
+The parser produces a tree of these dataclasses; the two interpreter passes
+(symbol declaration and execution) visit them.  Every node carries the source
+line of its first token for error reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+from .tokens import Token
+from .types import QutesType
+
+__all__ = [
+    "Node",
+    "Program",
+    "Literal",
+    "QuantumLiteral",
+    "KetLiteral",
+    "ArrayLiteral",
+    "Identifier",
+    "Unary",
+    "GateApplication",
+    "Binary",
+    "Logical",
+    "Comparison",
+    "InExpression",
+    "ShiftExpression",
+    "IndexAccess",
+    "Call",
+    "Assignment",
+    "VarDeclaration",
+    "FunctionDeclaration",
+    "Parameter",
+    "Block",
+    "If",
+    "While",
+    "DoWhile",
+    "Foreach",
+    "Return",
+    "Print",
+    "BarrierStatement",
+    "ExpressionStatement",
+]
+
+
+@dataclass
+class Node:
+    """Base class of every AST node."""
+
+    line: int = field(default=0, kw_only=True)
+
+
+# -- expressions ---------------------------------------------------------------
+
+
+@dataclass
+class Literal(Node):
+    """A classical literal: int, float, bool or string."""
+
+    value: Any
+    type: QutesType
+
+
+@dataclass
+class QuantumLiteral(Node):
+    """A quantum literal (``5q`` or ``"0101"q``)."""
+
+    value: Any
+    type: QutesType
+
+
+@dataclass
+class KetLiteral(Node):
+    """A single-qubit ket literal: ``|0>``, ``|1>``, ``|+>`` or ``|->``."""
+
+    state: str
+
+
+@dataclass
+class ArrayLiteral(Node):
+    """A bracketed list of expressions, e.g. ``[1, 2, 3]``."""
+
+    elements: List[Node]
+
+
+@dataclass
+class Identifier(Node):
+    """A reference to a declared variable or function."""
+
+    name: str
+
+
+@dataclass
+class Unary(Node):
+    """Unary arithmetic/logic operator: ``-x``, ``+x``, ``not x``."""
+
+    operator: str
+    operand: Node
+
+
+@dataclass
+class GateApplication(Node):
+    """A prefix quantum operator: ``hadamard x``, ``paulix x``, ``measure x``."""
+
+    gate: str
+    operand: Node
+
+
+@dataclass
+class Binary(Node):
+    """Arithmetic binary operator: ``+ - * / %``."""
+
+    operator: str
+    left: Node
+    right: Node
+
+
+@dataclass
+class Logical(Node):
+    """Short-circuiting logical operator: ``and`` / ``or``."""
+
+    operator: str
+    left: Node
+    right: Node
+
+
+@dataclass
+class Comparison(Node):
+    """Comparison operator: ``== != > >= < <=``."""
+
+    operator: str
+    left: Node
+    right: Node
+
+
+@dataclass
+class InExpression(Node):
+    """Substring / membership search: ``pattern in haystack``."""
+
+    needle: Node
+    haystack: Node
+
+
+@dataclass
+class ShiftExpression(Node):
+    """Cyclic shift of a quantum register: ``value << k`` / ``value >> k``."""
+
+    operator: str
+    value: Node
+    amount: Node
+
+
+@dataclass
+class IndexAccess(Node):
+    """Array indexing: ``arr[index]``."""
+
+    collection: Node
+    index: Node
+
+
+@dataclass
+class Call(Node):
+    """Function call: ``name(arg, ...)``."""
+
+    callee: Node
+    arguments: List[Node]
+
+
+@dataclass
+class Assignment(Node):
+    """Assignment to a variable or array element."""
+
+    target: Node
+    value: Node
+
+
+# -- statements ---------------------------------------------------------------
+
+
+@dataclass
+class Parameter(Node):
+    """A single function parameter (type + name)."""
+
+    type: QutesType
+    name: str
+
+
+@dataclass
+class VarDeclaration(Node):
+    """``type name = initializer;`` (initializer optional)."""
+
+    type: QutesType
+    name: str
+    initializer: Optional[Node]
+
+
+@dataclass
+class FunctionDeclaration(Node):
+    """A user-defined function."""
+
+    return_type: QutesType
+    name: str
+    parameters: List[Parameter]
+    body: "Block"
+
+
+@dataclass
+class Block(Node):
+    """A braced list of statements introducing a new scope."""
+
+    statements: List[Node]
+
+
+@dataclass
+class If(Node):
+    """``if (condition) then_branch [else else_branch]``."""
+
+    condition: Node
+    then_branch: Node
+    else_branch: Optional[Node]
+
+
+@dataclass
+class While(Node):
+    """``while (condition) body``."""
+
+    condition: Node
+    body: Node
+
+
+@dataclass
+class DoWhile(Node):
+    """``do body while (condition);``."""
+
+    body: Node
+    condition: Node
+
+
+@dataclass
+class Foreach(Node):
+    """``foreach name in iterable body``."""
+
+    variable: str
+    iterable: Node
+    body: Node
+
+
+@dataclass
+class Return(Node):
+    """``return [expression];``."""
+
+    value: Optional[Node]
+
+
+@dataclass
+class Print(Node):
+    """``print expression;`` -- measuring quantum operands automatically."""
+
+    value: Node
+
+
+@dataclass
+class BarrierStatement(Node):
+    """``barrier;`` -- a scheduling barrier over all allocated qubits."""
+
+
+@dataclass
+class ExpressionStatement(Node):
+    """A bare expression used as a statement."""
+
+    expression: Node
+
+
+@dataclass
+class Program(Node):
+    """The root node: a list of top-level statements."""
+
+    statements: List[Node]

@@ -1,0 +1,205 @@
+"""The ``QuantumCircuitHandler``: the bridge between the language and qsim.
+
+The handler plays the role described in Section 3 of the paper: while the
+interpreter traverses the AST it *logs* every quantum operation into a
+:class:`~repro.qsim.circuit.QuantumCircuit` (one quantum register per
+declared variable) and, at the same time, applies the operation to a live
+statevector so that automatic measurements -- triggered whenever quantum data
+flows into a classical context -- can be served immediately with genuine
+collapse semantics.
+
+The logged circuit is what gets exported (QASM, draw, metrics); the live
+state is what drives execution.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..qsim import gates
+from ..qsim.circuit import QuantumCircuit
+from ..qsim.instruction import Initialize, Measure
+from ..qsim.registers import ClassicalRegister, QuantumRegister
+from ..qsim.statevector import Statevector
+from .errors import QutesRuntimeError
+
+__all__ = ["QuantumCircuitHandler"]
+
+_GATE_MATRICES = {
+    "h": gates.H,
+    "x": gates.X,
+    "y": gates.Y,
+    "z": gates.Z,
+    "s": gates.S,
+    "sdg": gates.SDG,
+    "t": gates.T,
+    "tdg": gates.TDG,
+    "cx": gates.CX,
+    "cz": gates.CZ,
+    "swap": gates.SWAP,
+    "ccx": gates.CCX,
+}
+
+
+class QuantumCircuitHandler:
+    """Owns the program's quantum registers, circuit log and live state."""
+
+    def __init__(self, seed: Optional[int] = None):
+        self.circuit = QuantumCircuit(name="qutes_program")
+        self.state = Statevector.zero_state(0)
+        self.rng = np.random.default_rng(seed)
+        self._register_counter = 0
+        self._measure_counter = 0
+        self.measurements: List[Dict[str, object]] = []
+
+    # -- register allocation ------------------------------------------------------
+
+    @property
+    def num_qubits(self) -> int:
+        """Total number of qubits allocated so far."""
+        return self.circuit.num_qubits
+
+    def allocate_register(self, base_name: str, num_qubits: int) -> List[int]:
+        """Allocate a fresh register and return the global qubit indices."""
+        if num_qubits <= 0:
+            raise QutesRuntimeError("quantum registers must have at least one qubit")
+        self._register_counter += 1
+        name = f"{base_name}_{self._register_counter}"
+        register = QuantumRegister(num_qubits, name)
+        start = self.circuit.num_qubits
+        self.circuit.add_register(register)
+        self.state = self.state.expand(num_qubits)
+        return list(range(start, start + num_qubits))
+
+    # -- gate application ------------------------------------------------------------
+
+    def apply_gate(self, name: str, qubits: Sequence[int], params: Sequence[float] = ()) -> None:
+        """Append gate *name* on *qubits* to the log and the live state."""
+        qubits = list(qubits)
+        if params:
+            matrix = gates.gate_matrix(name, list(params))
+            getattr_builder = getattr(self.circuit, name, None)
+            if getattr_builder is None:
+                raise QutesRuntimeError(f"unsupported parametric gate {name!r}")
+            getattr_builder(*params, *qubits)
+        else:
+            matrix = _GATE_MATRICES.get(name)
+            if matrix is None:
+                matrix = gates.gate_matrix(name)
+            builder = getattr(self.circuit, name, None)
+            if builder is None:
+                raise QutesRuntimeError(f"unsupported gate {name!r}")
+            builder(*qubits)
+        self.state.apply_unitary(matrix, qubits)
+
+    def apply_mcz(self, controls: Sequence[int], target: int) -> None:
+        """Multi-controlled Z (used by oracle constructions)."""
+        controls = list(controls)
+        self.circuit.mcz(controls, target)
+        matrix = gates.controlled(gates.Z, len(controls))
+        self.state.apply_unitary(matrix, [*controls, target])
+
+    def apply_mcx(self, controls: Sequence[int], target: int) -> None:
+        """Multi-controlled X."""
+        controls = list(controls)
+        self.circuit.mcx(controls, target)
+        matrix = gates.controlled(gates.X, len(controls))
+        self.state.apply_unitary(matrix, [*controls, target])
+
+    def initialize(self, amplitudes: Sequence[complex], qubits: Sequence[int]) -> None:
+        """Initialise freshly allocated *qubits* to the given amplitude vector."""
+        qubits = list(qubits)
+        amplitudes = np.asarray(amplitudes, dtype=complex)
+        self.circuit.initialize(amplitudes, qubits)
+        self.state.initialize_qubits(amplitudes, qubits)
+
+    def initialize_basis(self, value: int, qubits: Sequence[int]) -> None:
+        """Encode the classical integer *value* into *qubits* with X gates."""
+        qubits = list(qubits)
+        if not 0 <= value < 2 ** len(qubits):
+            raise QutesRuntimeError(
+                f"value {value} does not fit into {len(qubits)} qubits"
+            )
+        for position, qubit in enumerate(qubits):
+            if (value >> position) & 1:
+                self.apply_gate("x", [qubit])
+
+    def append_subcircuit(self, sub: QuantumCircuit, qubit_map: Sequence[int]) -> None:
+        """Splice a standalone builder circuit onto the program.
+
+        *qubit_map* maps the sub-circuit's qubit positions onto global qubit
+        indices.  Measurements inside sub-circuits are not supported (the
+        language performs measurements only through :meth:`measure`).
+        """
+        qubit_map = list(qubit_map)
+        if len(qubit_map) != sub.num_qubits:
+            raise QutesRuntimeError("qubit map size does not match sub-circuit")
+        for instr in sub.data:
+            op = instr.operation
+            targets = [qubit_map[sub.qubit_index(q)] for q in instr.qubits]
+            if isinstance(op, Measure):
+                raise QutesRuntimeError("sub-circuits must not contain measurements")
+            if isinstance(op, Initialize):
+                self.circuit.append(op.copy(), targets)
+                self.state.initialize_qubits(op.statevector, targets)
+                continue
+            if op.name == "barrier":
+                self.circuit.append(op.copy(), targets)
+                continue
+            if not op.is_unitary:
+                raise QutesRuntimeError(f"cannot splice instruction {op.name!r}")
+            self.circuit.append(op.copy(), targets)
+            self.state.apply_unitary(op.to_matrix(), targets)
+
+    def barrier(self) -> None:
+        """Insert a barrier over every allocated qubit."""
+        if self.circuit.num_qubits:
+            self.circuit.barrier()
+
+    # -- measurement --------------------------------------------------------------------
+
+    def measure(self, qubits: Sequence[int], label: str = "m") -> int:
+        """Measure *qubits*, collapse the live state, log the measurement.
+
+        Returns the little-endian integer outcome.
+        """
+        qubits = list(qubits)
+        if not qubits:
+            raise QutesRuntimeError("cannot measure an empty register")
+        self._measure_counter += 1
+        creg = ClassicalRegister(len(qubits), f"{label}_{self._measure_counter}")
+        self.circuit.add_register(creg)
+        self.circuit.measure(qubits, list(creg))
+        outcome = self.state.measure(qubits, rng=self.rng)
+        self.measurements.append(
+            {"label": creg.name, "qubits": qubits, "outcome": outcome}
+        )
+        return outcome
+
+    def sample(self, qubits: Sequence[int], shots: int = 1024) -> Dict[int, int]:
+        """Sample measurement statistics without collapsing the live state."""
+        return self.state.sample_counts(list(qubits), shots=shots, rng=self.rng)
+
+    def probabilities(self, qubits: Sequence[int]) -> np.ndarray:
+        """Outcome probabilities for *qubits* under the live state."""
+        return self.state.probabilities(list(qubits))
+
+    # -- inspection ----------------------------------------------------------------------
+
+    def snapshot(self) -> Statevector:
+        """A copy of the current live statevector."""
+        return self.state.copy()
+
+    def gate_counts(self) -> Dict[str, int]:
+        """Histogram of logged instruction names."""
+        return self.circuit.count_ops()
+
+    def depth(self) -> int:
+        """Depth of the logged circuit."""
+        return self.circuit.depth()
+
+    def size(self) -> int:
+        """Number of logged instructions (excluding barriers)."""
+        return self.circuit.size()

@@ -1,0 +1,107 @@
+"""User-facing compile / run API of the Qutes implementation.
+
+``run_source`` is the one-call entry point used by the CLI, the examples and
+the benchmarks: it parses, type-checks (via the declaration pass) and executes
+a program, returning a :class:`QutesExecutionResult` that bundles the printed
+output, final variable bindings, the logged quantum circuit and its metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..qsim.circuit import QuantumCircuit
+from . import ast_nodes as ast
+from .interpreter import Interpreter
+from .parser import parse
+from .symbols import SymbolTable
+from .values import QuantumVariable
+
+__all__ = [
+    "CompiledProgram",
+    "QutesExecutionResult",
+    "parse_source",
+    "compile_source",
+    "run_source",
+    "run_file",
+]
+
+
+@dataclass
+class CompiledProgram:
+    """A parsed (and declaration-checked) Qutes program."""
+
+    source: str
+    ast: ast.Program
+
+    def run(self, shots: int = 1024, seed: Optional[int] = None) -> "QutesExecutionResult":
+        """Execute the compiled program."""
+        return _execute(self.source, self.ast, shots=shots, seed=seed)
+
+
+@dataclass
+class QutesExecutionResult:
+    """Everything produced by one execution of a Qutes program."""
+
+    output: List[str]
+    variables: Dict[str, Any]
+    circuit: QuantumCircuit
+    measurements: List[Dict[str, Any]]
+    gate_counts: Dict[str, int] = field(default_factory=dict)
+    depth: int = 0
+    num_qubits: int = 0
+
+    @property
+    def printed(self) -> str:
+        """The program's print output joined with newlines."""
+        return "\n".join(self.output)
+
+    def variable(self, name: str) -> Any:
+        """Final value of the top-level variable *name*."""
+        return self.variables[name]
+
+    def __repr__(self) -> str:
+        return (
+            f"QutesExecutionResult(qubits={self.num_qubits}, depth={self.depth}, "
+            f"prints={len(self.output)})"
+        )
+
+
+def parse_source(source: str) -> ast.Program:
+    """Parse Qutes *source* and return its AST."""
+    return parse(source)
+
+
+def compile_source(source: str) -> CompiledProgram:
+    """Parse *source* into a reusable :class:`CompiledProgram`."""
+    return CompiledProgram(source=source, ast=parse(source))
+
+
+def _execute(source: str, tree: ast.Program, shots: int, seed: Optional[int]) -> QutesExecutionResult:
+    interpreter = Interpreter(shots=shots, seed=seed)
+    interpreter.run(tree)
+    variables: Dict[str, Any] = {}
+    for name, symbol in interpreter.symbols.global_scope.symbols.items():
+        value = symbol.value
+        variables[name] = value
+    return QutesExecutionResult(
+        output=list(interpreter.output),
+        variables=variables,
+        circuit=interpreter.handler.circuit,
+        measurements=list(interpreter.handler.measurements),
+        gate_counts=interpreter.handler.gate_counts(),
+        depth=interpreter.handler.depth(),
+        num_qubits=interpreter.handler.num_qubits,
+    )
+
+
+def run_source(source: str, shots: int = 1024, seed: Optional[int] = None) -> QutesExecutionResult:
+    """Parse and execute Qutes *source* text."""
+    return _execute(source, parse(source), shots=shots, seed=seed)
+
+
+def run_file(path: str, shots: int = 1024, seed: Optional[int] = None) -> QutesExecutionResult:
+    """Parse and execute the Qutes program stored at *path*."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return run_source(handle.read(), shots=shots, seed=seed)

@@ -1,0 +1,40 @@
+"""Error hierarchy of the Qutes front-end and runtime."""
+
+from __future__ import annotations
+
+__all__ = [
+    "QutesError",
+    "QutesSyntaxError",
+    "QutesTypeError",
+    "QutesNameError",
+    "QutesRuntimeError",
+]
+
+
+class QutesError(Exception):
+    """Base class of every error raised while compiling or running Qutes code."""
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        self.message = message
+        self.line = line
+        self.column = column
+        location = ""
+        if line is not None:
+            location = f" (line {line}" + (f", column {column}" if column is not None else "") + ")"
+        super().__init__(f"{message}{location}")
+
+
+class QutesSyntaxError(QutesError):
+    """Raised by the lexer or parser for malformed source text."""
+
+
+class QutesTypeError(QutesError):
+    """Raised when an operation is applied to incompatible types."""
+
+
+class QutesNameError(QutesError):
+    """Raised for undeclared identifiers, redeclarations and scope violations."""
+
+
+class QutesRuntimeError(QutesError):
+    """Raised for errors that only manifest while the program executes."""

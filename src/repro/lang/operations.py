@@ -1,0 +1,445 @@
+"""Operator semantics of the Qutes language.
+
+This module implements the behaviour of every operator once operand values
+are available: classical operands use plain Python semantics, quantum
+operands are lowered onto circuit constructions from :mod:`repro.arithmetic`
+and :mod:`repro.algorithms` through the
+:class:`~repro.lang.circuit_handler.QuantumCircuitHandler`, and mixed
+operands go through the :class:`~repro.lang.casting.TypeCastingHandler`
+(promotion for arithmetic that can stay quantum, automatic measurement for
+intrinsically classical operations such as comparisons, division and logic).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence, Union
+
+from ..algorithms.grover import grover_circuit, substring_match_positions
+from ..arithmetic.multiplier import build_fourier_multiplier
+from ..arithmetic.qft import build_iqft, build_qft
+from ..arithmetic.rotations import rotate_indices
+from ..qsim.circuit import QuantumCircuit
+from .casting import TypeCastingHandler
+from .circuit_handler import QuantumCircuitHandler
+from .errors import QutesRuntimeError, QutesTypeError
+from .types import QutesType, TypeKind
+from .values import QuantumVariable, qubits_needed_for_int, type_of_python_value
+
+__all__ = ["OperationEngine"]
+
+_GATE_NAME_MAP = {
+    "hadamard": "h",
+    "paulix": "x",
+    "pauliy": "y",
+    "pauliz": "z",
+    "phase": "s",
+}
+
+
+class OperationEngine:
+    """Evaluates unary and binary operators over runtime values."""
+
+    def __init__(self, handler: QuantumCircuitHandler, casting: TypeCastingHandler):
+        self.handler = handler
+        self.casting = casting
+
+    # ------------------------------------------------------------------ helpers
+
+    def _is_quantum(self, value) -> bool:
+        return isinstance(value, QuantumVariable)
+
+    def _quint_operands(self, value) -> QuantumVariable:
+        if isinstance(value, QuantumVariable):
+            return value
+        raise QutesTypeError(f"expected a quantum operand, got {type_of_python_value(value)}")
+
+    # ------------------------------------------------------------------ gates
+
+    def apply_named_gate(self, gate: str, value) -> QuantumVariable:
+        """Apply a prefix gate keyword (``hadamard``/``paulix``/.../``phase``).
+
+        The gate is applied to every qubit of the operand; classical operands
+        are promoted to their quantum counterpart first (type promotion as
+        described in the paper).  Returns the quantum variable so gate
+        applications compose as expressions.
+        """
+        if gate == "measure":
+            raise QutesRuntimeError("measure is handled by the interpreter")
+        gate_name = _GATE_NAME_MAP.get(gate)
+        if gate_name is None:
+            raise QutesRuntimeError(f"unknown gate keyword {gate!r}")
+        if not isinstance(value, QuantumVariable):
+            target_type = type_of_python_value(value)
+            if target_type.kind is TypeKind.ARRAY:
+                raise QutesTypeError("gates cannot be applied to whole arrays; index an element")
+            value = self.casting.promote_to_quantum(
+                value, target_type.promoted_type(), name=f"anon_{gate}"
+            )
+        for qubit in value.qubits:
+            self.handler.apply_gate(gate_name, [qubit])
+        self._update_hint_after_gate(value, gate_name)
+        return value
+
+    def two_qubit_gate(self, gate_name: str, left, right) -> QuantumVariable:
+        """Pairwise two-qubit gate between two registers (``cx``/``cz``/``swap``).
+
+        Qubit ``i`` of *left* is paired with qubit ``i`` of *right*; both
+        operands must be quantum (classical operands are promoted first) and
+        have the same width.
+        """
+        if not isinstance(left, QuantumVariable):
+            left = self.casting.promote_to_quantum(
+                left, type_of_python_value(left).promoted_type(), name=f"anon_{gate_name}_c"
+            )
+        if not isinstance(right, QuantumVariable):
+            right = self.casting.promote_to_quantum(
+                right, type_of_python_value(right).promoted_type(), name=f"anon_{gate_name}_t"
+            )
+        if left.size != right.size:
+            raise QutesTypeError(
+                f"{gate_name}() needs equally sized registers, got {left.size} and {right.size}"
+            )
+        for control, target in zip(left.qubits, right.qubits):
+            self.handler.apply_gate(gate_name, [control, target])
+        if gate_name == "cx":
+            if left.classical_hint is not None and right.classical_hint is not None:
+                right.classical_hint ^= left.classical_hint
+            else:
+                right.invalidate_hint()
+        elif gate_name == "swap":
+            left.classical_hint, right.classical_hint = (
+                right.classical_hint,
+                left.classical_hint,
+            )
+        # cz is phase-only: hints survive untouched
+        return right
+
+    def _update_hint_after_gate(self, variable: QuantumVariable, gate_name: str) -> None:
+        if variable.classical_hint is None:
+            return
+        if gate_name in ("z", "s"):
+            return  # phase-only gates keep the basis value
+        if gate_name in ("x", "y"):
+            mask = (1 << variable.size) - 1
+            variable.classical_hint ^= mask
+            return
+        variable.invalidate_hint()
+
+    # ------------------------------------------------------------------ arithmetic
+
+    def binary(self, operator: str, left, right):
+        """Evaluate ``left <operator> right`` for ``+ - * / %``."""
+        left_quantum = self._is_quantum(left)
+        right_quantum = self._is_quantum(right)
+
+        if operator in ("/", "%"):
+            # division and modulo are classical operations (paper section 4):
+            # quantum operands are measured automatically.
+            return self._classical_arithmetic(operator, left, right)
+
+        if not left_quantum and not right_quantum:
+            return self._classical_arithmetic(operator, left, right)
+
+        if operator == "+":
+            return self._quantum_add(left, right, subtract=False)
+        if operator == "-":
+            return self._quantum_add(left, right, subtract=True)
+        if operator == "*":
+            return self._quantum_multiply(left, right)
+        raise QutesTypeError(f"unsupported operator {operator!r} on quantum operands")
+
+    def _classical_arithmetic(self, operator: str, left, right):
+        if isinstance(left, str) or isinstance(right, str):
+            if operator == "+" and isinstance(left, str) and isinstance(right, str):
+                return left + right
+            raise QutesTypeError(f"operator {operator!r} is not defined on strings")
+        lhs = self.casting.to_float(left) if self._needs_float(left, right) else self.casting.to_int(left)
+        rhs = self.casting.to_float(right) if self._needs_float(left, right) else self.casting.to_int(right)
+        if operator == "+":
+            return lhs + rhs
+        if operator == "-":
+            return lhs - rhs
+        if operator == "*":
+            return lhs * rhs
+        if operator == "/":
+            if rhs == 0:
+                raise QutesRuntimeError("division by zero")
+            result = lhs / rhs
+            return result if isinstance(lhs, float) or isinstance(rhs, float) else int(lhs // rhs)
+        if operator == "%":
+            if rhs == 0:
+                raise QutesRuntimeError("modulo by zero")
+            if isinstance(lhs, float) or isinstance(rhs, float):
+                return math.fmod(lhs, rhs)
+            return lhs % rhs
+        raise QutesTypeError(f"unknown arithmetic operator {operator!r}")
+
+    def _needs_float(self, left, right) -> bool:
+        return isinstance(left, float) or isinstance(right, float)
+
+    # -- quantum addition / subtraction ------------------------------------------------
+
+    def _quantum_add(self, left, right, subtract: bool) -> QuantumVariable:
+        """Out-of-place quantum addition: allocate ``result`` and add into it.
+
+        ``result`` starts as a CNOT copy of the right operand (or its encoded
+        classical value) and the left operand is then added (or subtracted)
+        in the Fourier basis, so superposed operands produce the correct
+        entangled sum register.
+        """
+        # Classical-only fast paths were handled by binary(); at least one
+        # operand is quantum here.  Order matters for subtraction: a - b.
+        a, b = left, right
+        a_quantum = self._is_quantum(a)
+        b_quantum = self._is_quantum(b)
+
+        a_size = a.size if a_quantum else qubits_needed_for_int(max(self.casting.to_int(a), 0))
+        b_size = b.size if b_quantum else qubits_needed_for_int(max(self.casting.to_int(b), 0))
+        result_size = max(a_size, b_size) + (0 if subtract else 1)
+        result_qubits = self.handler.allocate_register("sum", result_size)
+        result = QuantumVariable(
+            name="sum", type=QutesType.quint(), qubits=result_qubits, classical_hint=None
+        )
+
+        # seed the result with the left operand (a)
+        a_hint: Optional[int] = None
+        if a_quantum:
+            for position, qubit in enumerate(a.qubits):
+                self.handler.apply_gate("cx", [qubit, result_qubits[position]])
+            a_hint = a.classical_hint
+        else:
+            a_value = self.casting.to_int(a)
+            self.handler.initialize_basis(a_value, result_qubits)
+            a_hint = a_value
+
+        # add (or subtract) the right operand (b) into the result
+        sign = -1 if subtract else 1
+        b_hint: Optional[int] = None
+        if b_quantum:
+            self._fourier_add_register(b.qubits, result_qubits, sign)
+            b_hint = b.classical_hint
+        else:
+            b_value = self.casting.to_int(b)
+            self._fourier_add_constant(b_value, result_qubits, sign)
+            b_hint = b_value
+
+        if a_hint is not None and b_hint is not None:
+            result.classical_hint = (a_hint + sign * b_hint) % (2**result_size)
+        return result
+
+    def _fourier_add_register(self, source: Sequence[int], target: Sequence[int], sign: int) -> None:
+        source = list(source)
+        target = list(target)
+        sub = QuantumCircuit(len(source) + len(target), name="qadd")
+        src_pos = list(range(len(source)))
+        tgt_pos = list(range(len(source), len(source) + len(target)))
+        build_qft(sub, tgt_pos, do_swaps=False)
+        for j in range(len(target)):
+            for k in range(min(j + 1, len(source))):
+                angle = sign * math.pi / (2 ** (j - k))
+                sub.cp(angle, src_pos[k], tgt_pos[j])
+        build_iqft(sub, tgt_pos, do_swaps=False)
+        self.handler.append_subcircuit(sub, source + target)
+
+    def _fourier_add_constant(self, value: int, target: Sequence[int], sign: int) -> None:
+        target = list(target)
+        n = len(target)
+        value %= 2**n
+        sub = QuantumCircuit(n, name="qadd_const")
+        build_qft(sub, list(range(n)), do_swaps=False)
+        for j in range(n):
+            angle = 0.0
+            for k in range(j + 1):
+                if (value >> k) & 1:
+                    angle += math.pi / (2 ** (j - k))
+            if angle:
+                sub.p(sign * angle, j)
+        build_iqft(sub, list(range(n)), do_swaps=False)
+        self.handler.append_subcircuit(sub, target)
+
+    # -- quantum multiplication -----------------------------------------------------------
+
+    def _quantum_multiply(self, left, right) -> QuantumVariable:
+        a = left if self._is_quantum(left) else self.casting.promote_to_quantum(
+            left, QutesType.quint(), name="mul_a"
+        )
+        b = right if self._is_quantum(right) else self.casting.promote_to_quantum(
+            right, QutesType.quint(), name="mul_b"
+        )
+        product_size = a.size + b.size
+        product_qubits = self.handler.allocate_register("prod", product_size)
+        sub = QuantumCircuit(a.size + b.size + product_size, name="qmul")
+        build_fourier_multiplier(
+            sub,
+            list(range(a.size)),
+            list(range(a.size, a.size + b.size)),
+            list(range(a.size + b.size, a.size + b.size + product_size)),
+        )
+        self.handler.append_subcircuit(sub, a.qubits + b.qubits + product_qubits)
+        hint = None
+        if a.classical_hint is not None and b.classical_hint is not None:
+            hint = (a.classical_hint * b.classical_hint) % (2**product_size)
+        return QuantumVariable(
+            name="prod", type=QutesType.quint(), qubits=product_qubits, classical_hint=hint
+        )
+
+    # ------------------------------------------------------------------ shifts
+
+    def cyclic_shift(self, operator: str, value, amount) -> QuantumVariable:
+        """Cyclic register rotation (``<<`` rotate left, ``>>`` rotate right).
+
+        Implemented as the O(1) logical relabelling of the Faro--Pavone--Viola
+        construction: no gates are emitted, the variable's qubit order (and
+        classical hint) are permuted in place.
+        """
+        k = self.casting.to_int(amount)
+        if not self._is_quantum(value):
+            # classical operands use ordinary (non-cyclic) bit shifts
+            number = self.casting.to_int(value)
+            return number << k if operator == "<<" else number >> k
+        variable = self._quint_operands(value)
+        n = variable.size
+        if n == 0:
+            return variable
+        k %= n
+        if k == 0:
+            return variable
+        if variable.type.kind is TypeKind.QUSTRING:
+            # string semantics: `<< k` moves characters towards lower indices
+            offset = k if operator == "<<" else n - k
+        else:
+            # integer semantics: `<< k` rotates the binary value towards
+            # higher significance (like a bitwise rotate-left)
+            offset = n - k if operator == "<<" else k
+        permutation = [(i + offset) % n for i in range(n)]
+        old_qubits = list(variable.qubits)
+        variable.qubits = [old_qubits[p] for p in permutation]
+        if variable.classical_hint is not None:
+            old_hint = variable.classical_hint
+            new_hint = 0
+            for i, p in enumerate(permutation):
+                if (old_hint >> p) & 1:
+                    new_hint |= 1 << i
+            variable.classical_hint = new_hint
+        return variable
+
+    # ------------------------------------------------------------------ comparisons & logic
+
+    def compare(self, operator: str, left, right) -> bool:
+        """Comparisons are classical: quantum operands are measured first."""
+        lhs = self.casting.to_classical(left)
+        rhs = self.casting.to_classical(right)
+        if isinstance(lhs, str) != isinstance(rhs, str):
+            if operator in ("==", "!="):
+                return operator == "!="
+            raise QutesTypeError("cannot order strings against numbers")
+        if operator == "==":
+            return lhs == rhs
+        if operator == "!=":
+            return lhs != rhs
+        if operator == ">":
+            return lhs > rhs
+        if operator == ">=":
+            return lhs >= rhs
+        if operator == "<":
+            return lhs < rhs
+        if operator == "<=":
+            return lhs <= rhs
+        raise QutesTypeError(f"unknown comparison operator {operator!r}")
+
+    def logical(self, operator: str, left_value, right_thunk):
+        """Short-circuiting ``and`` / ``or`` with automatic measurement."""
+        left_bool = self.casting.to_bool(left_value)
+        if operator == "and":
+            if not left_bool:
+                return False
+            return self.casting.to_bool(right_thunk())
+        if operator == "or":
+            if left_bool:
+                return True
+            return self.casting.to_bool(right_thunk())
+        raise QutesTypeError(f"unknown logical operator {operator!r}")
+
+    def unary(self, operator: str, value):
+        """Unary ``-``, ``+`` and ``not`` (classical; quantum operands measured)."""
+        if operator == "not":
+            return not self.casting.to_bool(value)
+        number = self.casting.to_float(value) if isinstance(value, float) else self.casting.to_int(value)
+        if operator == "-":
+            return -number
+        if operator == "+":
+            return number
+        raise QutesTypeError(f"unknown unary operator {operator!r}")
+
+    # ------------------------------------------------------------------ Grover search (`in`)
+
+    def membership(self, needle, haystack) -> bool:
+        """The ``in`` operator: Grover substring search over a ``qustring``.
+
+        The pattern must be classical (or a quantum register still holding a
+        known basis state); the haystack must be a ``qustring``.  The search
+        allocates an index register, splices the Grover iterations into the
+        program circuit and measures the index register; the measured
+        position is then verified against the pattern, which also catches the
+        "no match" case.
+        """
+        pattern = self._as_bitstring(needle, role="pattern")
+        text_variable, text = self._haystack_text(haystack)
+
+        positions = substring_match_positions(text, pattern)
+        num_positions = max(1, len(text) - len(pattern) + 1)
+        index_qubits_count = max(1, math.ceil(math.log2(num_positions)))
+
+        if not positions:
+            # no marked state: prepare and measure a uniform index register so
+            # the circuit still reflects the attempted search, then report the
+            # miss after classical verification.
+            index_qubits = self.handler.allocate_register("grover_idx", index_qubits_count)
+            for qubit in index_qubits:
+                self.handler.apply_gate("h", [qubit])
+            self.handler.measure(index_qubits, label="grover")
+            return False
+
+        # Grover search with the standard verification loop: measure a
+        # candidate position, check it classically, retry a bounded number of
+        # times (each attempt uses a fresh index register).
+        for _attempt in range(3):
+            index_qubits = self.handler.allocate_register("grover_idx", index_qubits_count)
+            search = grover_circuit(index_qubits_count, positions, measure=False)
+            self.handler.append_subcircuit(search, index_qubits)
+            measured_position = self.handler.measure(index_qubits, label="grover")
+            if measured_position < num_positions and (
+                text[measured_position : measured_position + len(pattern)] == pattern
+            ):
+                return True
+        return False
+
+    def _as_bitstring(self, value, role: str) -> str:
+        if isinstance(value, QuantumVariable):
+            if value.type.kind is not TypeKind.QUSTRING:
+                raise QutesTypeError(f"the {role} of 'in' must be a (qu)string")
+            hinted = value.hint_as_string()
+            if hinted is not None:
+                return hinted
+            measured = self.casting.measure_variable(value)
+            return measured  # type: ignore[return-value]
+        if isinstance(value, str):
+            if not value or any(ch not in "01" for ch in value):
+                raise QutesTypeError(f"the {role} of 'in' must be a non-empty bitstring")
+            return value
+        raise QutesTypeError(f"the {role} of 'in' must be a (qu)string")
+
+    def _haystack_text(self, haystack):
+        if isinstance(haystack, QuantumVariable):
+            if haystack.type.kind is not TypeKind.QUSTRING:
+                raise QutesTypeError("the right operand of 'in' must be a qustring")
+            hinted = haystack.hint_as_string()
+            if hinted is not None:
+                return haystack, hinted
+            return haystack, self.casting.measure_variable(haystack)
+        if isinstance(haystack, str):
+            if not haystack or any(ch not in "01" for ch in haystack):
+                raise QutesTypeError("the right operand of 'in' must be a bitstring")
+            return None, haystack
+        raise QutesTypeError("the right operand of 'in' must be a (qu)string")

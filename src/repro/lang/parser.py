@@ -1,0 +1,431 @@
+"""Recursive-descent parser for Qutes.
+
+Grammar (EBNF, ``*`` = repetition, ``?`` = optional)::
+
+    program        := statement* EOF
+    statement      := varDecl | funcDecl | ifStmt | whileStmt | doWhileStmt
+                    | foreachStmt | returnStmt | printStmt | barrierStmt
+                    | block | exprOrAssignStmt
+    varDecl        := typeName arraySuffix? IDENT ("=" expression)? ";"
+    funcDecl       := "function" typeName arraySuffix? IDENT "(" params? ")" block
+    params         := param ("," param)*
+    param          := typeName arraySuffix? IDENT
+    ifStmt         := "if" "(" expression ")" statement ("else" statement)?
+    whileStmt      := "while" "(" expression ")" statement
+    doWhileStmt    := "do" statement "while" "(" expression ")" ";"
+    foreachStmt    := "foreach" IDENT "in" expression statement
+    returnStmt     := "return" expression? ";"
+    printStmt      := "print" expression ";"
+    barrierStmt    := "barrier" ";"
+    block          := "{" statement* "}"
+    exprOrAssignStmt := expression ("=" expression)? ";"
+
+    expression     := orExpr
+    orExpr         := andExpr ("or" andExpr)*
+    andExpr        := notExpr ("and" notExpr)*
+    notExpr        := "not" notExpr | comparison
+    comparison     := inExpr (("=="|"!="|">"|">="|"<"|"<=") inExpr)*
+    inExpr         := shift ("in" shift)?
+    shift          := additive (("<<"|">>") additive)*
+    additive       := multiplicative (("+"|"-") multiplicative)*
+    multiplicative := unary (("*"|"/"|"%") unary)*
+    unary          := ("-"|"+") unary | gateExpr
+    gateExpr       := GATE unary | postfix
+    postfix        := primary (("[" expression "]") | ("(" args? ")"))*
+    primary        := literal | IDENT | "(" expression ")" | "[" exprList? "]"
+
+Types in declarations use ``typeName`` optionally followed by ``[]`` for
+arrays (``int[] xs = [1, 2, 3];``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from . import ast_nodes as ast
+from .errors import QutesSyntaxError
+from .lexer import tokenize
+from .tokens import GATE_KEYWORDS, TYPE_KEYWORDS, Token, TokenType
+from .types import QutesType, TypeKind
+
+__all__ = ["Parser", "parse"]
+
+_TYPE_TOKEN_TO_TYPE = {
+    TokenType.BOOL: QutesType.bool_(),
+    TokenType.INT: QutesType.int_(),
+    TokenType.FLOAT: QutesType.float_(),
+    TokenType.STRING: QutesType.string(),
+    TokenType.QUBIT: QutesType.qubit(),
+    TokenType.QUINT: QutesType.quint(),
+    TokenType.QUSTRING: QutesType.qustring(),
+    TokenType.VOID: QutesType.void(),
+}
+
+_COMPARISON_OPS = {
+    TokenType.EQUAL: "==",
+    TokenType.NOT_EQUAL: "!=",
+    TokenType.GREATER: ">",
+    TokenType.GREATER_EQUAL: ">=",
+    TokenType.LESS: "<",
+    TokenType.LESS_EQUAL: "<=",
+}
+
+_GATE_TOKENS = set(GATE_KEYWORDS.values())
+
+
+class Parser:
+    """Turns a token stream into a :class:`~repro.lang.ast_nodes.Program`."""
+
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self._pos = 0
+
+    # -- token helpers ----------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self._pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def _check(self, *types: TokenType) -> bool:
+        return self._peek().type in types
+
+    def _advance(self) -> Token:
+        token = self.tokens[self._pos]
+        if token.type is not TokenType.EOF:
+            self._pos += 1
+        return token
+
+    def _match(self, *types: TokenType) -> Optional[Token]:
+        if self._check(*types):
+            return self._advance()
+        return None
+
+    def _expect(self, token_type: TokenType, message: str) -> Token:
+        if self._check(token_type):
+            return self._advance()
+        found = self._peek()
+        raise QutesSyntaxError(
+            f"{message} (found {found.lexeme!r})", found.line, found.column
+        )
+
+    def _at_end(self) -> bool:
+        return self._peek().type is TokenType.EOF
+
+    # -- entry point -------------------------------------------------------------
+
+    def parse(self) -> ast.Program:
+        statements: List[ast.Node] = []
+        first_line = self._peek().line
+        while not self._at_end():
+            statements.append(self._statement())
+        return ast.Program(statements, line=first_line)
+
+    # -- statements ----------------------------------------------------------------
+
+    def _statement(self) -> ast.Node:
+        token = self._peek()
+        if token.type is TokenType.FUNCTION:
+            return self._function_declaration()
+        if token.type in _TYPE_TOKEN_TO_TYPE and self._looks_like_declaration():
+            return self._var_declaration()
+        if token.type is TokenType.IF:
+            return self._if_statement()
+        if token.type is TokenType.WHILE:
+            return self._while_statement()
+        if token.type is TokenType.DO:
+            return self._do_while_statement()
+        if token.type is TokenType.FOREACH:
+            return self._foreach_statement()
+        if token.type is TokenType.RETURN:
+            return self._return_statement()
+        if token.type is TokenType.PRINT:
+            return self._print_statement()
+        if token.type is TokenType.BARRIER:
+            self._advance()
+            self._expect(TokenType.SEMICOLON, "expected ';' after 'barrier'")
+            return ast.BarrierStatement(line=token.line)
+        if token.type is TokenType.LBRACE:
+            return self._block()
+        return self._expression_statement()
+
+    def _looks_like_declaration(self) -> bool:
+        # typeName IDENT | typeName [] IDENT | typeName [ INT ] IDENT
+        nxt = self._peek(1)
+        if nxt.type is TokenType.IDENTIFIER:
+            return True
+        if nxt.type is not TokenType.LBRACKET:
+            return False
+        if self._peek(2).type is TokenType.RBRACKET:
+            return True
+        return (
+            self._peek(2).type is TokenType.INT_LITERAL
+            and self._peek(3).type is TokenType.RBRACKET
+        )
+
+    def _parse_type(self) -> QutesType:
+        token = self._advance()
+        base = _TYPE_TOKEN_TO_TYPE.get(token.type)
+        if base is None:
+            raise QutesSyntaxError(f"expected a type name, found {token.lexeme!r}", token.line, token.column)
+        if self._check(TokenType.LBRACKET) and self._peek(1).type is TokenType.RBRACKET:
+            self._advance()
+            self._advance()
+            return QutesType.array_of(base)
+        if (
+            self._check(TokenType.LBRACKET)
+            and self._peek(1).type is TokenType.INT_LITERAL
+            and self._peek(2).type is TokenType.RBRACKET
+        ):
+            self._advance()
+            size_token = self._advance()
+            self._advance()
+            try:
+                return QutesType.sized(base, size_token.literal)
+            except Exception as exc:
+                raise QutesSyntaxError(str(exc), size_token.line, size_token.column) from exc
+        return base
+
+    def _var_declaration(self) -> ast.Node:
+        line = self._peek().line
+        var_type = self._parse_type()
+        if var_type.kind is TypeKind.VOID:
+            raise QutesSyntaxError("variables cannot have type 'void'", line)
+        name = self._expect(TokenType.IDENTIFIER, "expected a variable name").lexeme
+        initializer = None
+        if self._match(TokenType.ASSIGN):
+            initializer = self._expression()
+        self._expect(TokenType.SEMICOLON, "expected ';' after variable declaration")
+        return ast.VarDeclaration(var_type, name, initializer, line=line)
+
+    def _function_declaration(self) -> ast.Node:
+        line = self._advance().line  # 'function'
+        return_type = self._parse_type()
+        name = self._expect(TokenType.IDENTIFIER, "expected a function name").lexeme
+        self._expect(TokenType.LPAREN, "expected '(' after function name")
+        parameters: List[ast.Parameter] = []
+        if not self._check(TokenType.RPAREN):
+            while True:
+                param_line = self._peek().line
+                param_type = self._parse_type()
+                if param_type.kind is TypeKind.VOID:
+                    raise QutesSyntaxError("parameters cannot have type 'void'", param_line)
+                param_name = self._expect(TokenType.IDENTIFIER, "expected a parameter name").lexeme
+                parameters.append(ast.Parameter(param_type, param_name, line=param_line))
+                if not self._match(TokenType.COMMA):
+                    break
+        self._expect(TokenType.RPAREN, "expected ')' after parameters")
+        body = self._block()
+        return ast.FunctionDeclaration(return_type, name, parameters, body, line=line)
+
+    def _block(self) -> ast.Block:
+        line = self._expect(TokenType.LBRACE, "expected '{'").line
+        statements: List[ast.Node] = []
+        while not self._check(TokenType.RBRACE) and not self._at_end():
+            statements.append(self._statement())
+        self._expect(TokenType.RBRACE, "expected '}' to close block")
+        return ast.Block(statements, line=line)
+
+    def _if_statement(self) -> ast.Node:
+        line = self._advance().line
+        self._expect(TokenType.LPAREN, "expected '(' after 'if'")
+        condition = self._expression()
+        self._expect(TokenType.RPAREN, "expected ')' after if condition")
+        then_branch = self._statement()
+        else_branch = None
+        if self._match(TokenType.ELSE):
+            else_branch = self._statement()
+        return ast.If(condition, then_branch, else_branch, line=line)
+
+    def _while_statement(self) -> ast.Node:
+        line = self._advance().line
+        self._expect(TokenType.LPAREN, "expected '(' after 'while'")
+        condition = self._expression()
+        self._expect(TokenType.RPAREN, "expected ')' after while condition")
+        body = self._statement()
+        return ast.While(condition, body, line=line)
+
+    def _do_while_statement(self) -> ast.Node:
+        line = self._advance().line
+        body = self._statement()
+        self._expect(TokenType.WHILE, "expected 'while' after do-body")
+        self._expect(TokenType.LPAREN, "expected '(' after 'while'")
+        condition = self._expression()
+        self._expect(TokenType.RPAREN, "expected ')' after do-while condition")
+        self._expect(TokenType.SEMICOLON, "expected ';' after do-while")
+        return ast.DoWhile(body, condition, line=line)
+
+    def _foreach_statement(self) -> ast.Node:
+        line = self._advance().line
+        name = self._expect(TokenType.IDENTIFIER, "expected a loop variable name").lexeme
+        self._expect(TokenType.IN, "expected 'in' in foreach")
+        iterable = self._expression()
+        body = self._statement()
+        return ast.Foreach(name, iterable, body, line=line)
+
+    def _return_statement(self) -> ast.Node:
+        line = self._advance().line
+        value = None
+        if not self._check(TokenType.SEMICOLON):
+            value = self._expression()
+        self._expect(TokenType.SEMICOLON, "expected ';' after return")
+        return ast.Return(value, line=line)
+
+    def _print_statement(self) -> ast.Node:
+        line = self._advance().line
+        value = self._expression()
+        self._expect(TokenType.SEMICOLON, "expected ';' after print")
+        return ast.Print(value, line=line)
+
+    def _expression_statement(self) -> ast.Node:
+        line = self._peek().line
+        expr = self._expression()
+        if self._match(TokenType.ASSIGN):
+            value = self._expression()
+            if not isinstance(expr, (ast.Identifier, ast.IndexAccess)):
+                raise QutesSyntaxError("invalid assignment target", line)
+            self._expect(TokenType.SEMICOLON, "expected ';' after assignment")
+            return ast.ExpressionStatement(ast.Assignment(expr, value, line=line), line=line)
+        self._expect(TokenType.SEMICOLON, "expected ';' after expression")
+        return ast.ExpressionStatement(expr, line=line)
+
+    # -- expressions ----------------------------------------------------------------
+
+    def _expression(self) -> ast.Node:
+        return self._or_expr()
+
+    def _or_expr(self) -> ast.Node:
+        expr = self._and_expr()
+        while self._check(TokenType.OR):
+            line = self._advance().line
+            right = self._and_expr()
+            expr = ast.Logical("or", expr, right, line=line)
+        return expr
+
+    def _and_expr(self) -> ast.Node:
+        expr = self._not_expr()
+        while self._check(TokenType.AND):
+            line = self._advance().line
+            right = self._not_expr()
+            expr = ast.Logical("and", expr, right, line=line)
+        return expr
+
+    def _not_expr(self) -> ast.Node:
+        if self._check(TokenType.NOT):
+            line = self._advance().line
+            operand = self._not_expr()
+            return ast.Unary("not", operand, line=line)
+        return self._comparison()
+
+    def _comparison(self) -> ast.Node:
+        expr = self._in_expr()
+        while self._peek().type in _COMPARISON_OPS:
+            token = self._advance()
+            right = self._in_expr()
+            expr = ast.Comparison(_COMPARISON_OPS[token.type], expr, right, line=token.line)
+        return expr
+
+    def _in_expr(self) -> ast.Node:
+        expr = self._shift()
+        if self._check(TokenType.IN):
+            line = self._advance().line
+            haystack = self._shift()
+            return ast.InExpression(expr, haystack, line=line)
+        return expr
+
+    def _shift(self) -> ast.Node:
+        expr = self._additive()
+        while self._check(TokenType.SHIFT_LEFT, TokenType.SHIFT_RIGHT):
+            token = self._advance()
+            amount = self._additive()
+            op = "<<" if token.type is TokenType.SHIFT_LEFT else ">>"
+            expr = ast.ShiftExpression(op, expr, amount, line=token.line)
+        return expr
+
+    def _additive(self) -> ast.Node:
+        expr = self._multiplicative()
+        while self._check(TokenType.PLUS, TokenType.MINUS):
+            token = self._advance()
+            right = self._multiplicative()
+            expr = ast.Binary(token.lexeme, expr, right, line=token.line)
+        return expr
+
+    def _multiplicative(self) -> ast.Node:
+        expr = self._unary()
+        while self._check(TokenType.STAR, TokenType.SLASH, TokenType.PERCENT):
+            token = self._advance()
+            right = self._unary()
+            expr = ast.Binary(token.lexeme, expr, right, line=token.line)
+        return expr
+
+    def _unary(self) -> ast.Node:
+        if self._check(TokenType.MINUS, TokenType.PLUS):
+            token = self._advance()
+            operand = self._unary()
+            return ast.Unary(token.lexeme, operand, line=token.line)
+        return self._gate_expr()
+
+    def _gate_expr(self) -> ast.Node:
+        if self._peek().type in _GATE_TOKENS:
+            token = self._advance()
+            operand = self._unary()
+            return ast.GateApplication(token.lexeme, operand, line=token.line)
+        return self._postfix()
+
+    def _postfix(self) -> ast.Node:
+        expr = self._primary()
+        while True:
+            if self._check(TokenType.LBRACKET):
+                line = self._advance().line
+                index = self._expression()
+                self._expect(TokenType.RBRACKET, "expected ']' after index")
+                expr = ast.IndexAccess(expr, index, line=line)
+            elif self._check(TokenType.LPAREN):
+                line = self._advance().line
+                arguments: List[ast.Node] = []
+                if not self._check(TokenType.RPAREN):
+                    while True:
+                        arguments.append(self._expression())
+                        if not self._match(TokenType.COMMA):
+                            break
+                self._expect(TokenType.RPAREN, "expected ')' after arguments")
+                expr = ast.Call(expr, arguments, line=line)
+            else:
+                return expr
+
+    def _primary(self) -> ast.Node:
+        token = self._advance()
+        if token.type is TokenType.INT_LITERAL:
+            return ast.Literal(token.literal, QutesType.int_(), line=token.line)
+        if token.type is TokenType.FLOAT_LITERAL:
+            return ast.Literal(token.literal, QutesType.float_(), line=token.line)
+        if token.type is TokenType.STRING_LITERAL:
+            return ast.Literal(token.literal, QutesType.string(), line=token.line)
+        if token.type in (TokenType.TRUE, TokenType.FALSE):
+            return ast.Literal(token.type is TokenType.TRUE, QutesType.bool_(), line=token.line)
+        if token.type is TokenType.QUANTUM_INT_LITERAL:
+            return ast.QuantumLiteral(token.literal, QutesType.quint(), line=token.line)
+        if token.type is TokenType.QUANTUM_STRING_LITERAL:
+            return ast.QuantumLiteral(token.literal, QutesType.qustring(), line=token.line)
+        if token.type is TokenType.KET_LITERAL:
+            return ast.KetLiteral(token.literal, line=token.line)
+        if token.type is TokenType.IDENTIFIER:
+            return ast.Identifier(token.lexeme, line=token.line)
+        if token.type is TokenType.LPAREN:
+            expr = self._expression()
+            self._expect(TokenType.RPAREN, "expected ')' after expression")
+            return expr
+        if token.type is TokenType.LBRACKET:
+            elements: List[ast.Node] = []
+            if not self._check(TokenType.RBRACKET):
+                while True:
+                    elements.append(self._expression())
+                    if not self._match(TokenType.COMMA):
+                        break
+            self._expect(TokenType.RBRACKET, "expected ']' after array literal")
+            return ast.ArrayLiteral(elements, line=token.line)
+        raise QutesSyntaxError(f"unexpected token {token.lexeme!r}", token.line, token.column)
+
+
+def parse(source: str) -> ast.Program:
+    """Parse Qutes *source* text into an AST."""
+    return Parser(tokenize(source)).parse()

@@ -1,0 +1,160 @@
+"""A small standard library of Qutes programs and program-analysis helpers.
+
+The paper lists "a comprehensive standard library containing essential
+quantum functions and algorithms" as a development goal.  This module ships
+the showcase programs as named, parameterisable Qutes sources (used by the
+documentation, the benchmarks and downstream users who want ready-made
+snippets) together with :func:`program_metrics`, which quantifies the
+abstraction gap between a Qutes source and the circuit it generates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from .compiler import run_source
+from .errors import QutesError
+from .lexer import tokenize
+
+__all__ = ["STD_PROGRAMS", "get_program", "list_programs", "ProgramMetrics", "program_metrics"]
+
+
+def _quantum_addition(a: int = 12, b: int = 30) -> str:
+    return f"""
+        quint x = {a}q;
+        quint y = {b}q;
+        quint total = x + y;
+        print total;
+    """
+
+
+def _superposition_addition() -> str:
+    return """
+        quint a = [1, 3];
+        quint b = [4, 8];
+        print a + b;
+    """
+
+
+def _grover_substring(text: str = "0110100111010110", pattern: str = "111") -> str:
+    return f"""
+        qustring text = "{text}";
+        print "{pattern}" in text;
+    """
+
+
+def _cyclic_shift(width: int = 8, value: int = 137, amount: int = 3) -> str:
+    return f"""
+        quint[{width}] value = {value}q;
+        print value << {amount};
+    """
+
+
+def _deutsch_jozsa_balanced() -> str:
+    return """
+        function void oracle(quint x, qubit y) { cx(x[0], y); cx(x[2], y); }
+        quint[3] x = 0q;
+        qubit y = |->;
+        hadamard x;
+        oracle(x, y);
+        hadamard x;
+        int reading = x;
+        if (reading == 0) { print "constant"; } else { print "balanced"; }
+    """
+
+
+def _deutsch_jozsa_constant() -> str:
+    return _deutsch_jozsa_balanced().replace("{ cx(x[0], y); cx(x[2], y); }", "{ }")
+
+
+def _bell_pair() -> str:
+    return """
+        qubit left = |+>;
+        qubit right = |0>;
+        cx(left, right);
+        print left == right;
+    """
+
+
+def _coin_flip() -> str:
+    return """
+        qubit coin = |0>;
+        hadamard coin;
+        if (coin) { print "heads"; } else { print "tails"; }
+    """
+
+
+def _quantum_counter(limit: int = 4) -> str:
+    return f"""
+        int i = 0;
+        quint total = 0q;
+        while (i < {limit}) {{
+            total = total + 1;
+            i = i + 1;
+        }}
+        print total;
+    """
+
+
+#: name -> factory returning the Qutes source (factories take keyword args)
+STD_PROGRAMS = {
+    "quantum_addition": _quantum_addition,
+    "superposition_addition": _superposition_addition,
+    "grover_substring": _grover_substring,
+    "cyclic_shift": _cyclic_shift,
+    "deutsch_jozsa_balanced": _deutsch_jozsa_balanced,
+    "deutsch_jozsa_constant": _deutsch_jozsa_constant,
+    "bell_pair": _bell_pair,
+    "coin_flip": _coin_flip,
+    "quantum_counter": _quantum_counter,
+}
+
+
+def list_programs() -> list:
+    """Names of the bundled standard-library programs."""
+    return sorted(STD_PROGRAMS)
+
+
+def get_program(name: str, **parameters) -> str:
+    """Return the Qutes source of the named standard-library program."""
+    try:
+        factory = STD_PROGRAMS[name]
+    except KeyError as exc:
+        raise QutesError(f"unknown standard program {name!r}") from exc
+    return factory(**parameters)
+
+
+@dataclass
+class ProgramMetrics:
+    """Size of a Qutes source versus the circuit it compiles to."""
+
+    name: str
+    source_lines: int
+    source_tokens: int
+    generated_gates: int
+    qubits: int
+    depth: int
+    output: str
+
+    @property
+    def expansion_factor(self) -> float:
+        """Gate-level instructions generated per source line."""
+        return self.generated_gates / max(1, self.source_lines)
+
+
+def program_metrics(name: str, seed: Optional[int] = 7, **parameters) -> ProgramMetrics:
+    """Compile and run a standard program, returning its abstraction metrics."""
+    source = get_program(name, **parameters)
+    lines = [ln for ln in source.splitlines() if ln.strip() and not ln.strip().startswith("//")]
+    tokens = tokenize(source)[:-1]
+    result = run_source(source, seed=seed)
+    return ProgramMetrics(
+        name=name,
+        source_lines=len(lines),
+        source_tokens=len(tokens),
+        generated_gates=sum(result.gate_counts.values()),
+        qubits=result.num_qubits,
+        depth=result.depth,
+        output=result.printed,
+    )

@@ -1,0 +1,145 @@
+"""Token definitions for the Qutes lexer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Dict
+
+__all__ = ["TokenType", "Token", "KEYWORDS", "GATE_KEYWORDS", "TYPE_KEYWORDS"]
+
+
+class TokenType(enum.Enum):
+    """All token categories produced by the lexer."""
+
+    # single / double character symbols
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACE = "{"
+    RBRACE = "}"
+    LBRACKET = "["
+    RBRACKET = "]"
+    COMMA = ","
+    SEMICOLON = ";"
+    COLON = ":"
+    PLUS = "+"
+    MINUS = "-"
+    STAR = "*"
+    SLASH = "/"
+    PERCENT = "%"
+    ASSIGN = "="
+    EQUAL = "=="
+    NOT_EQUAL = "!="
+    GREATER = ">"
+    GREATER_EQUAL = ">="
+    LESS = "<"
+    LESS_EQUAL = "<="
+    SHIFT_LEFT = "<<"
+    SHIFT_RIGHT = ">>"
+
+    # literals
+    INT_LITERAL = "int_literal"
+    FLOAT_LITERAL = "float_literal"
+    STRING_LITERAL = "string_literal"
+    QUANTUM_INT_LITERAL = "quantum_int_literal"
+    QUANTUM_STRING_LITERAL = "quantum_string_literal"
+    KET_LITERAL = "ket_literal"
+    IDENTIFIER = "identifier"
+
+    # keywords
+    BOOL = "bool"
+    INT = "int"
+    FLOAT = "float"
+    STRING = "string"
+    QUBIT = "qubit"
+    QUINT = "quint"
+    QUSTRING = "qustring"
+    VOID = "void"
+    TRUE = "true"
+    FALSE = "false"
+    IF = "if"
+    ELSE = "else"
+    WHILE = "while"
+    DO = "do"
+    FOREACH = "foreach"
+    IN = "in"
+    RETURN = "return"
+    FUNCTION = "function"
+    PRINT = "print"
+    BARRIER = "barrier"
+    AND = "and"
+    OR = "or"
+    NOT = "not"
+    HADAMARD = "hadamard"
+    PAULIX = "paulix"
+    PAULIY = "pauliy"
+    PAULIZ = "pauliz"
+    PHASE = "phase"
+    MEASURE = "measure"
+
+    EOF = "eof"
+
+
+#: keywords that start a type annotation
+TYPE_KEYWORDS = {
+    "bool": TokenType.BOOL,
+    "int": TokenType.INT,
+    "float": TokenType.FLOAT,
+    "string": TokenType.STRING,
+    "qubit": TokenType.QUBIT,
+    "quint": TokenType.QUINT,
+    "qustring": TokenType.QUSTRING,
+    "void": TokenType.VOID,
+}
+
+#: keywords acting as prefix quantum operators
+GATE_KEYWORDS = {
+    "hadamard": TokenType.HADAMARD,
+    "paulix": TokenType.PAULIX,
+    "pauliy": TokenType.PAULIY,
+    "pauliz": TokenType.PAULIZ,
+    "phase": TokenType.PHASE,
+    "measure": TokenType.MEASURE,
+}
+
+KEYWORDS: Dict[str, TokenType] = {
+    **TYPE_KEYWORDS,
+    **GATE_KEYWORDS,
+    "true": TokenType.TRUE,
+    "false": TokenType.FALSE,
+    "if": TokenType.IF,
+    "else": TokenType.ELSE,
+    "while": TokenType.WHILE,
+    "do": TokenType.DO,
+    "foreach": TokenType.FOREACH,
+    "in": TokenType.IN,
+    "return": TokenType.RETURN,
+    "function": TokenType.FUNCTION,
+    "print": TokenType.PRINT,
+    "barrier": TokenType.BARRIER,
+    "and": TokenType.AND,
+    "or": TokenType.OR,
+    "not": TokenType.NOT,
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token.
+
+    Attributes:
+        type: the token category.
+        lexeme: the raw source text of the token.
+        literal: the parsed literal value (for literal tokens).
+        line: 1-based line number.
+        column: 1-based column of the first character.
+    """
+
+    type: TokenType
+    lexeme: str
+    literal: Any
+    line: int
+    column: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.type.name}, {self.lexeme!r}, line={self.line})"

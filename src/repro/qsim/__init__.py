@@ -1,0 +1,78 @@
+"""Quantum simulation substrate.
+
+This package replaces the Qiskit dependency of the original Qutes
+implementation with a self-contained, NumPy-based stack:
+
+* :mod:`repro.qsim.gates` -- the gate matrix library,
+* :mod:`repro.qsim.registers` -- quantum / classical registers and bits,
+* :mod:`repro.qsim.instruction` -- the instruction set of the circuit IR,
+* :mod:`repro.qsim.circuit` -- the :class:`~repro.qsim.circuit.QuantumCircuit` IR,
+* :mod:`repro.qsim.statevector` -- dense statevector representation,
+* :mod:`repro.qsim.simulator` -- the statevector execution engine,
+* :mod:`repro.qsim.transpiler` -- decomposition and analysis passes,
+* :mod:`repro.qsim.qasm` -- OpenQASM 2.0 export,
+* :mod:`repro.qsim.noise` -- simple stochastic noise models.
+
+The public names most users need are re-exported here.
+"""
+
+from .exceptions import QsimError, RegisterError, SimulationError
+from .registers import ClassicalRegister, Clbit, QuantumRegister, Qubit
+from .instruction import (
+    Barrier,
+    Gate,
+    Initialize,
+    Instruction,
+    Measure,
+    Reset,
+)
+from .circuit import CircuitInstruction, QuantumCircuit
+from .statevector import Statevector
+from .simulator import Result, StatevectorSimulator
+from .transpiler import count_ops, decompose, circuit_depth
+from .optimizer import optimize, optimization_summary
+from .qasm import to_qasm
+from .noise import BitFlipNoise, DepolarizingNoise
+from .density import (
+    DensityMatrix,
+    DensityMatrixSimulator,
+    amplitude_damping_kraus,
+    bit_flip_kraus,
+    depolarizing_kraus,
+    phase_flip_kraus,
+)
+
+__all__ = [
+    "QsimError",
+    "RegisterError",
+    "SimulationError",
+    "QuantumRegister",
+    "ClassicalRegister",
+    "Qubit",
+    "Clbit",
+    "Instruction",
+    "Gate",
+    "Measure",
+    "Reset",
+    "Barrier",
+    "Initialize",
+    "QuantumCircuit",
+    "CircuitInstruction",
+    "Statevector",
+    "StatevectorSimulator",
+    "Result",
+    "count_ops",
+    "decompose",
+    "circuit_depth",
+    "optimize",
+    "optimization_summary",
+    "to_qasm",
+    "BitFlipNoise",
+    "DepolarizingNoise",
+    "DensityMatrix",
+    "DensityMatrixSimulator",
+    "bit_flip_kraus",
+    "phase_flip_kraus",
+    "depolarizing_kraus",
+    "amplitude_damping_kraus",
+]

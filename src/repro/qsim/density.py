@@ -1,0 +1,322 @@
+"""Density-matrix simulation and exact noise channels.
+
+The Monte-Carlo noise models in :mod:`repro.qsim.noise` sample error
+trajectories; this module provides the exact counterpart: a
+:class:`DensityMatrix` representation evolved under unitaries and Kraus
+channels, plus a :class:`DensityMatrixSimulator` able to run the same
+:class:`~repro.qsim.circuit.QuantumCircuit` objects as the statevector
+engine.  It is the substrate for the noise-robustness ablations and for
+verifying the trajectory models against their exact channels.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from . import gates
+from .circuit import QuantumCircuit
+from .exceptions import SimulationError
+from .instruction import Barrier, Initialize, Measure, Reset
+from .statevector import Statevector
+
+__all__ = [
+    "DensityMatrix",
+    "DensityMatrixSimulator",
+    "bit_flip_kraus",
+    "phase_flip_kraus",
+    "depolarizing_kraus",
+    "amplitude_damping_kraus",
+]
+
+
+# ---------------------------------------------------------------------------
+# Kraus channel constructors (single qubit)
+# ---------------------------------------------------------------------------
+
+def bit_flip_kraus(p: float) -> List[np.ndarray]:
+    """Bit-flip channel: X applied with probability *p*."""
+    _check_probability(p)
+    return [math.sqrt(1 - p) * gates.I1, math.sqrt(p) * gates.X]
+
+
+def phase_flip_kraus(p: float) -> List[np.ndarray]:
+    """Phase-flip channel: Z applied with probability *p*."""
+    _check_probability(p)
+    return [math.sqrt(1 - p) * gates.I1, math.sqrt(p) * gates.Z]
+
+
+def depolarizing_kraus(p: float) -> List[np.ndarray]:
+    """Depolarizing channel with error probability *p* (X, Y, Z equally likely)."""
+    _check_probability(p)
+    return [
+        math.sqrt(1 - p) * gates.I1,
+        math.sqrt(p / 3) * gates.X,
+        math.sqrt(p / 3) * gates.Y,
+        math.sqrt(p / 3) * gates.Z,
+    ]
+
+
+def amplitude_damping_kraus(gamma: float) -> List[np.ndarray]:
+    """Amplitude damping (T1 decay) with decay probability *gamma*."""
+    _check_probability(gamma)
+    k0 = np.array([[1, 0], [0, math.sqrt(1 - gamma)]], dtype=complex)
+    k1 = np.array([[0, math.sqrt(gamma)], [0, 0]], dtype=complex)
+    return [k0, k1]
+
+
+def _check_probability(p: float) -> None:
+    if not 0.0 <= p <= 1.0:
+        raise SimulationError("channel probability must be in [0, 1]")
+
+
+# ---------------------------------------------------------------------------
+# Density matrix
+# ---------------------------------------------------------------------------
+
+class DensityMatrix:
+    """An ``n``-qubit mixed state stored as a dense ``2^n x 2^n`` matrix."""
+
+    def __init__(self, data: np.ndarray, validate: bool = True):
+        matrix = np.asarray(data, dtype=complex)
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise SimulationError("density matrix must be square")
+        n = int(round(math.log2(matrix.shape[0])))
+        if 2**n != matrix.shape[0]:
+            raise SimulationError("density matrix dimension must be a power of two")
+        if validate:
+            trace = np.trace(matrix)
+            if abs(trace) < 1e-12:
+                raise SimulationError("density matrix has zero trace")
+            matrix = matrix / trace
+            if not np.allclose(matrix, matrix.conj().T, atol=1e-8):
+                raise SimulationError("density matrix must be Hermitian")
+        self.data = matrix
+        self.num_qubits = n
+
+    # -- constructors ----------------------------------------------------------
+
+    @classmethod
+    def zero_state(cls, num_qubits: int) -> "DensityMatrix":
+        dim = 2**num_qubits
+        matrix = np.zeros((dim, dim), dtype=complex)
+        matrix[0, 0] = 1.0
+        dm = cls.__new__(cls)
+        dm.data = matrix
+        dm.num_qubits = num_qubits
+        return dm
+
+    @classmethod
+    def from_statevector(cls, state: Statevector) -> "DensityMatrix":
+        data = np.outer(state.data, state.data.conj())
+        dm = cls.__new__(cls)
+        dm.data = data
+        dm.num_qubits = state.num_qubits
+        return dm
+
+    @classmethod
+    def maximally_mixed(cls, num_qubits: int) -> "DensityMatrix":
+        dim = 2**num_qubits
+        dm = cls.__new__(cls)
+        dm.data = np.eye(dim, dtype=complex) / dim
+        dm.num_qubits = num_qubits
+        return dm
+
+    def copy(self) -> "DensityMatrix":
+        dm = DensityMatrix.__new__(DensityMatrix)
+        dm.data = self.data.copy()
+        dm.num_qubits = self.num_qubits
+        return dm
+
+    # -- evolution ---------------------------------------------------------------
+
+    def _expand_operator(self, matrix: np.ndarray, targets: Sequence[int]) -> np.ndarray:
+        """Embed a k-qubit operator acting on *targets* into the full space."""
+        targets = list(targets)
+        k = len(targets)
+        n = self.num_qubits
+        if matrix.shape != (2**k, 2**k):
+            raise SimulationError("operator shape does not match target count")
+        # build the full operator by permuting a kron product; index bit q of
+        # the full space corresponds to qubit q (little-endian).
+        full = np.zeros((2**n, 2**n), dtype=complex)
+        for col in range(2**n):
+            # operator column index: targets[0] is the most significant bit,
+            # matching the gate-matrix convention of repro.qsim.gates
+            op_col = 0
+            for q in targets:
+                op_col = (op_col << 1) | ((col >> q) & 1)
+            for op_row in range(2**k):
+                amplitude = matrix[op_row, op_col]
+                if abs(amplitude) < 1e-16:
+                    continue
+                row = col
+                for pos, q in enumerate(targets):
+                    bit = (op_row >> (k - 1 - pos)) & 1
+                    row = (row & ~(1 << q)) | (bit << q)
+                full[row, col] += amplitude
+        return full
+
+    def apply_unitary(self, matrix: np.ndarray, targets: Sequence[int]) -> None:
+        """Apply a unitary to *targets*: ``rho <- U rho U^dagger``."""
+        full = self._expand_operator(np.asarray(matrix, dtype=complex), targets)
+        self.data = full @ self.data @ full.conj().T
+
+    def apply_kraus(self, kraus_operators: Iterable[np.ndarray], targets: Sequence[int]) -> None:
+        """Apply a quantum channel given by its Kraus operators to *targets*."""
+        result = np.zeros_like(self.data)
+        for kraus in kraus_operators:
+            full = self._expand_operator(np.asarray(kraus, dtype=complex), targets)
+            result += full @ self.data @ full.conj().T
+        self.data = result
+
+    # -- measurement ----------------------------------------------------------------
+
+    def probabilities(self, targets: Optional[Sequence[int]] = None) -> np.ndarray:
+        """Marginal Z-basis outcome probabilities for *targets* (little-endian)."""
+        diag = np.real(np.diag(self.data)).clip(min=0.0)
+        n = self.num_qubits
+        if targets is None:
+            targets = list(range(n))
+        targets = list(targets)
+        probs = np.zeros(2 ** len(targets))
+        for index, p in enumerate(diag):
+            if p == 0.0:
+                continue
+            value = 0
+            for pos, q in enumerate(targets):
+                value |= ((index >> q) & 1) << pos
+            probs[value] += p
+        total = probs.sum()
+        if total > 0:
+            probs = probs / total
+        return probs
+
+    def measure(self, targets: Sequence[int], rng: Optional[np.random.Generator] = None) -> int:
+        """Projectively measure *targets* and collapse the state."""
+        targets = list(targets)
+        if rng is None:
+            rng = np.random.default_rng()
+        probs = self.probabilities(targets)
+        outcome = int(rng.choice(probs.size, p=probs))
+        projector_diag = np.ones(2**self.num_qubits)
+        for index in range(2**self.num_qubits):
+            for pos, q in enumerate(targets):
+                if ((index >> q) & 1) != ((outcome >> pos) & 1):
+                    projector_diag[index] = 0.0
+                    break
+        projector = np.diag(projector_diag).astype(complex)
+        self.data = projector @ self.data @ projector
+        trace = np.trace(self.data)
+        if abs(trace) < 1e-15:
+            raise SimulationError("measurement projected onto a zero-probability outcome")
+        self.data /= trace
+        return outcome
+
+    # -- analysis --------------------------------------------------------------------
+
+    def purity(self) -> float:
+        """``Tr(rho^2)``: 1.0 for pure states, ``1/2^n`` for maximally mixed."""
+        return float(np.real(np.trace(self.data @ self.data)))
+
+    def fidelity_with_pure(self, state: Statevector) -> float:
+        """Fidelity ``<psi| rho |psi>`` with a pure reference state."""
+        if state.num_qubits != self.num_qubits:
+            raise SimulationError("fidelity requires states of equal size")
+        return float(np.real(state.data.conj() @ self.data @ state.data))
+
+    def expectation_z(self, qubit: int) -> float:
+        """Expectation value of Pauli-Z on *qubit*."""
+        probs = self.probabilities([qubit])
+        return float(probs[0] - probs[1])
+
+    def __repr__(self) -> str:
+        return f"DensityMatrix(num_qubits={self.num_qubits}, purity={self.purity():.4f})"
+
+
+# ---------------------------------------------------------------------------
+# Simulator
+# ---------------------------------------------------------------------------
+
+class DensityMatrixSimulator:
+    """Runs :class:`QuantumCircuit` objects on a density matrix.
+
+    ``gate_noise`` maps a gate-arity (1 or 2) to a list of single-qubit Kraus
+    operators applied to every qubit the gate touched -- the exact analogue of
+    the trajectory noise models in :mod:`repro.qsim.noise`.
+    """
+
+    def __init__(
+        self,
+        seed: Optional[int] = None,
+        gate_noise: Optional[Dict[int, List[np.ndarray]]] = None,
+    ):
+        self._rng = np.random.default_rng(seed)
+        self.gate_noise = gate_noise or {}
+
+    def evolve(self, circuit: QuantumCircuit, initial: Optional[DensityMatrix] = None) -> DensityMatrix:
+        """Return the density matrix after running *circuit* (measurements collapse)."""
+        if initial is None:
+            state = DensityMatrix.zero_state(circuit.num_qubits)
+        else:
+            if initial.num_qubits != circuit.num_qubits:
+                raise SimulationError("initial state size does not match circuit")
+            state = initial.copy()
+        for instr in circuit.data:
+            op = instr.operation
+            targets = [circuit.qubit_index(q) for q in instr.qubits]
+            if isinstance(op, Barrier):
+                continue
+            if isinstance(op, Measure):
+                state.measure(targets, rng=self._rng)
+                continue
+            if isinstance(op, Reset):
+                outcome = state.measure(targets, rng=self._rng)
+                if outcome:
+                    state.apply_unitary(gates.X, targets)
+                continue
+            if isinstance(op, Initialize):
+                # mirror the statevector engine's contract (targets must be in
+                # |0>); the dense representation only supports the whole-register
+                # case, which is all the front-end ever emits for pure prep.
+                if len(targets) != circuit.num_qubits:
+                    raise SimulationError(
+                        "DensityMatrixSimulator supports initialize only over all qubits"
+                    )
+                pure = Statevector.zero_state(circuit.num_qubits)
+                pure.initialize_qubits(op.statevector, targets)
+                state = DensityMatrix.from_statevector(pure)
+                continue
+            if not op.is_unitary:
+                raise SimulationError(f"cannot simulate instruction {op.name!r}")
+            state.apply_unitary(op.to_matrix(), targets)
+            noise = self.gate_noise.get(min(len(targets), 2))
+            if noise:
+                for qubit in targets:
+                    state.apply_kraus(noise, [qubit])
+        return state
+
+    def run_counts(self, circuit: QuantumCircuit, shots: int = 1024) -> Dict[int, int]:
+        """Measurement histogram over the measured qubits of *circuit*."""
+        measured = [
+            circuit.qubit_index(instr.qubits[0])
+            for instr in circuit.data
+            if isinstance(instr.operation, Measure)
+        ]
+        if not measured:
+            raise SimulationError("circuit has no measurements")
+        unitary_only = QuantumCircuit(name=circuit.name)
+        for reg in circuit.qregs:
+            unitary_only.add_register(reg)
+        for reg in circuit.cregs:
+            unitary_only.add_register(reg)
+        for instr in circuit.data:
+            if isinstance(instr.operation, Measure):
+                continue
+            unitary_only.append(instr.operation.copy(), instr.qubits, instr.clbits)
+        state = self.evolve(unitary_only)
+        probs = state.probabilities(measured)
+        sampled = self._rng.multinomial(shots, probs / probs.sum())
+        return {value: int(count) for value, count in enumerate(sampled) if count}

@@ -1,0 +1,17 @@
+"""Exception hierarchy for the quantum simulation substrate."""
+
+
+class QsimError(Exception):
+    """Base class for all errors raised by :mod:`repro.qsim`."""
+
+
+class RegisterError(QsimError):
+    """Raised for invalid register or bit usage (duplicate names, bad sizes)."""
+
+
+class CircuitError(QsimError):
+    """Raised for malformed circuit construction (bad qubit counts, params)."""
+
+
+class SimulationError(QsimError):
+    """Raised when a circuit cannot be simulated (unsupported op, bad state)."""

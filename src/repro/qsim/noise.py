@@ -1,0 +1,55 @@
+"""Simple stochastic (Monte Carlo) noise models.
+
+The original Qutes stack inherits noise modelling from Qiskit Aer.  For the
+reproduction we provide two lightweight, trajectory-based channels that are
+sufficient for the robustness experiments: after every unitary gate the noise
+model may inject Pauli errors on the qubits the gate touched.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from . import gates
+from .exceptions import SimulationError
+
+__all__ = ["NoiseModel", "BitFlipNoise", "DepolarizingNoise"]
+
+
+class NoiseModel:
+    """Base class: subclasses inject errors after each gate application."""
+
+    def apply(self, state, targets: Sequence[int], rng: np.random.Generator) -> None:
+        raise NotImplementedError
+
+
+class BitFlipNoise(NoiseModel):
+    """Independent bit-flip (X) errors with probability *p* per touched qubit."""
+
+    def __init__(self, p: float):
+        if not 0.0 <= p <= 1.0:
+            raise SimulationError("error probability must be in [0, 1]")
+        self.p = p
+
+    def apply(self, state, targets: Sequence[int], rng: np.random.Generator) -> None:
+        for qubit in targets:
+            if rng.random() < self.p:
+                state.apply_unitary(gates.X, [qubit])
+
+
+class DepolarizingNoise(NoiseModel):
+    """Single-qubit depolarizing channel sampled as random X/Y/Z errors."""
+
+    def __init__(self, p: float):
+        if not 0.0 <= p <= 1.0:
+            raise SimulationError("error probability must be in [0, 1]")
+        self.p = p
+        self._paulis = (gates.X, gates.Y, gates.Z)
+
+    def apply(self, state, targets: Sequence[int], rng: np.random.Generator) -> None:
+        for qubit in targets:
+            if rng.random() < self.p:
+                pauli = self._paulis[rng.integers(0, 3)]
+                state.apply_unitary(pauli, [qubit])

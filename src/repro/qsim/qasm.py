@@ -1,0 +1,96 @@
+"""OpenQASM 2.0 export.
+
+The paper lists "export Qutes code to ... QASM" as a roadmap item; this
+module implements that interoperability path for every circuit the Qutes
+front-end can produce.  Gates without a direct OpenQASM 2.0 counterpart
+(multi-controlled gates, explicit unitaries, ``initialize``) are first
+lowered through :func:`repro.qsim.transpiler.decompose`; anything still not
+expressible raises :class:`~repro.qsim.exceptions.CircuitError`.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .circuit import QuantumCircuit
+from .exceptions import CircuitError
+from .instruction import Barrier, Initialize, Measure, Reset
+
+__all__ = ["to_qasm"]
+
+_SIMPLE_GATES = {
+    "id",
+    "x",
+    "y",
+    "z",
+    "h",
+    "s",
+    "sdg",
+    "t",
+    "tdg",
+    "sx",
+    "cx",
+    "cy",
+    "cz",
+    "ch",
+    "swap",
+    "ccx",
+    "cswap",
+}
+_PARAM_GATES = {"rx": 1, "ry": 1, "rz": 1, "p": 1, "u2": 2, "u3": 3, "cp": 1, "crx": 1, "cry": 1, "crz": 1}
+
+
+def to_qasm(circuit: QuantumCircuit, lower: bool = True) -> str:
+    """Serialise *circuit* to an OpenQASM 2.0 program string."""
+    from .transpiler import decompose  # local import avoids a module cycle
+
+    target = circuit
+    if lower and _needs_lowering(circuit):
+        target = decompose(circuit)
+        if _needs_lowering(target):
+            raise CircuitError("circuit contains instructions not expressible in OpenQASM 2.0")
+
+    lines: List[str] = ["OPENQASM 2.0;", 'include "qelib1.inc";']
+    for qreg in target.qregs:
+        lines.append(f"qreg {qreg.name}[{qreg.size}];")
+    for creg in target.cregs:
+        lines.append(f"creg {creg.name}[{creg.size}];")
+
+    for instr in target.data:
+        op = instr.operation
+        qubit_refs = [f"{q.register.name}[{q.index}]" for q in instr.qubits]
+        if isinstance(op, Barrier):
+            lines.append(f"barrier {', '.join(qubit_refs)};")
+            continue
+        if isinstance(op, Measure):
+            clbit = instr.clbits[0]
+            lines.append(f"measure {qubit_refs[0]} -> {clbit.register.name}[{clbit.index}];")
+            continue
+        if isinstance(op, Reset):
+            lines.append(f"reset {qubit_refs[0]};")
+            continue
+        if op.name in _SIMPLE_GATES:
+            lines.append(f"{op.name} {', '.join(qubit_refs)};")
+            continue
+        if op.name in _PARAM_GATES:
+            params = ", ".join(_format_param(p) for p in op.params)
+            lines.append(f"{op.name}({params}) {', '.join(qubit_refs)};")
+            continue
+        raise CircuitError(f"instruction {op.name!r} has no OpenQASM 2.0 form")
+    return "\n".join(lines) + "\n"
+
+
+def _needs_lowering(circuit: QuantumCircuit) -> bool:
+    for instr in circuit.data:
+        op = instr.operation
+        if isinstance(op, (Barrier, Measure, Reset)):
+            continue
+        if isinstance(op, Initialize):
+            return True
+        if op.name not in _SIMPLE_GATES and op.name not in _PARAM_GATES:
+            return True
+    return False
+
+
+def _format_param(value: float) -> str:
+    return format(float(value), ".12g")

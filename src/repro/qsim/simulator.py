@@ -1,0 +1,242 @@
+"""Statevector execution engine.
+
+:class:`StatevectorSimulator` plays the role Qiskit Aer plays for the
+original Qutes implementation: it takes a :class:`~repro.qsim.circuit.QuantumCircuit`
+and produces measurement counts and/or the final statevector.
+
+Execution strategy
+------------------
+* If every measurement is *final* (no gate touches a measured qubit after its
+  measurement), the circuit is evolved once and outcomes are sampled from the
+  resulting distribution -- this is the fast path used by almost every Qutes
+  program.
+* Otherwise (mid-circuit measurement followed by more gates) each shot is
+  simulated independently with genuine collapse, which is slower but exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .circuit import CircuitInstruction, QuantumCircuit
+from .exceptions import SimulationError
+from .instruction import Barrier, Initialize, Measure, Reset
+from .noise import NoiseModel
+from .statevector import Statevector
+
+__all__ = ["StatevectorSimulator", "Result"]
+
+
+@dataclass
+class Result:
+    """Outcome of a simulation run.
+
+    Attributes:
+        counts: histogram of classical-register bitstrings (MSB first, i.e.
+            the last classical bit is the leftmost character), over all shots.
+        shots: number of shots sampled.
+        statevector: final pre-measurement statevector when available (fast
+            path only; ``None`` when per-shot collapse was required).
+        memory: per-shot bitstrings when ``memory=True`` was requested.
+    """
+
+    counts: Dict[str, int]
+    shots: int
+    statevector: Optional[Statevector] = None
+    memory: Optional[List[str]] = None
+
+    def most_frequent(self) -> str:
+        """The most frequently observed bitstring."""
+        if not self.counts:
+            raise SimulationError("result has no counts (no measurements in circuit)")
+        return max(self.counts.items(), key=lambda kv: kv[1])[0]
+
+    def probabilities(self) -> Dict[str, float]:
+        """Counts normalised to relative frequencies."""
+        total = sum(self.counts.values())
+        if total == 0:
+            return {}
+        return {key: value / total for key, value in self.counts.items()}
+
+    def int_counts(self) -> Dict[int, int]:
+        """Counts keyed by the integer value of the bitstring."""
+        return {int(key, 2): value for key, value in self.counts.items()}
+
+
+class StatevectorSimulator:
+    """Exact dense simulator with optional stochastic noise injection."""
+
+    def __init__(self, seed: Optional[int] = None, noise_model: Optional[NoiseModel] = None):
+        self._rng = np.random.default_rng(seed)
+        self.noise_model = noise_model
+
+    # -- public API -------------------------------------------------------------
+
+    def run(
+        self,
+        circuit: QuantumCircuit,
+        shots: int = 1024,
+        memory: bool = False,
+        initial_state: Optional[Statevector] = None,
+    ) -> Result:
+        """Execute *circuit* for *shots* shots and return a :class:`Result`."""
+        if shots <= 0:
+            raise SimulationError("shots must be positive")
+        if self.noise_model is not None or not self._measurements_are_final(circuit):
+            return self._run_per_shot(circuit, shots, memory, initial_state)
+        return self._run_sampled(circuit, shots, memory, initial_state)
+
+    def evolve(
+        self,
+        circuit: QuantumCircuit,
+        initial_state: Optional[Statevector] = None,
+        collapse_measurements: bool = False,
+    ) -> Statevector:
+        """Return the statevector after running *circuit* once.
+
+        Measurements are skipped unless *collapse_measurements* is set, in
+        which case they collapse the state using the simulator's RNG.
+        """
+        state = self._initial_state(circuit, initial_state)
+        for instr in circuit.data:
+            op = instr.operation
+            if isinstance(op, Measure):
+                if collapse_measurements:
+                    state.measure([circuit.qubit_index(q) for q in instr.qubits], rng=self._rng)
+                continue
+            self._apply(state, circuit, instr)
+        return state
+
+    # -- internals ----------------------------------------------------------------
+
+    @staticmethod
+    def _measurements_are_final(circuit: QuantumCircuit) -> bool:
+        measured: set = set()
+        for instr in circuit.data:
+            op = instr.operation
+            if isinstance(op, Measure):
+                measured.add(instr.qubits[0])
+            elif isinstance(op, Barrier):
+                continue
+            else:
+                if any(q in measured for q in instr.qubits):
+                    return False
+        return True
+
+    def _initial_state(
+        self, circuit: QuantumCircuit, initial_state: Optional[Statevector]
+    ) -> Statevector:
+        if initial_state is None:
+            return Statevector.zero_state(circuit.num_qubits)
+        if initial_state.num_qubits != circuit.num_qubits:
+            raise SimulationError("initial state size does not match circuit")
+        return initial_state.copy()
+
+    def _apply(self, state: Statevector, circuit: QuantumCircuit, instr: CircuitInstruction) -> None:
+        op = instr.operation
+        targets = [circuit.qubit_index(q) for q in instr.qubits]
+        if isinstance(op, Barrier):
+            return
+        if isinstance(op, Reset):
+            state.reset_qubit(targets[0], rng=self._rng)
+            return
+        if isinstance(op, Initialize):
+            state.initialize_qubits(op.statevector, targets)
+            return
+        if op.is_unitary:
+            state.apply_unitary(op.to_matrix(), targets)
+            if self.noise_model is not None:
+                self.noise_model.apply(state, targets, self._rng)
+            return
+        raise SimulationError(f"cannot simulate instruction {op.name!r}")
+
+    def _clbit_positions(self, circuit: QuantumCircuit) -> int:
+        return max(circuit.num_clbits, 1)
+
+    def _format_bits(self, bits: Dict[int, int], num_clbits: int) -> str:
+        chars = ["0"] * num_clbits
+        for position, value in bits.items():
+            chars[num_clbits - 1 - position] = "1" if value else "0"
+        return "".join(chars)
+
+    def _run_sampled(
+        self,
+        circuit: QuantumCircuit,
+        shots: int,
+        memory: bool,
+        initial_state: Optional[Statevector],
+    ) -> Result:
+        state = self._initial_state(circuit, initial_state)
+        measure_map: List[Tuple[int, int]] = []  # (qubit index, clbit index)
+        for instr in circuit.data:
+            op = instr.operation
+            if isinstance(op, Measure):
+                measure_map.append(
+                    (circuit.qubit_index(instr.qubits[0]), circuit.clbit_index(instr.clbits[0]))
+                )
+                continue
+            self._apply(state, circuit, instr)
+
+        num_clbits = circuit.num_clbits
+        if not measure_map:
+            return Result(counts={}, shots=shots, statevector=state, memory=[] if memory else None)
+
+        qubits = [q for q, _ in measure_map]
+        probs = state.probabilities(qubits)
+        sampled = self._rng.multinomial(shots, probs / probs.sum())
+        counts: Dict[str, int] = {}
+        shot_values: List[str] = []
+        for value, count in enumerate(sampled):
+            if not count:
+                continue
+            bits = {}
+            for position, (_, clbit) in enumerate(measure_map):
+                bits[clbit] = (value >> position) & 1
+            key = self._format_bits(bits, num_clbits)
+            counts[key] = counts.get(key, 0) + int(count)
+            if memory:
+                shot_values.extend([key] * int(count))
+        if memory:
+            self._rng.shuffle(shot_values)
+        return Result(
+            counts=counts,
+            shots=shots,
+            statevector=state,
+            memory=shot_values if memory else None,
+        )
+
+    def _run_per_shot(
+        self,
+        circuit: QuantumCircuit,
+        shots: int,
+        memory: bool,
+        initial_state: Optional[Statevector],
+    ) -> Result:
+        counts: Dict[str, int] = {}
+        shot_values: List[str] = []
+        num_clbits = circuit.num_clbits
+        for _ in range(shots):
+            state = self._initial_state(circuit, initial_state)
+            bits: Dict[int, int] = {}
+            for instr in circuit.data:
+                op = instr.operation
+                if isinstance(op, Measure):
+                    qubit = circuit.qubit_index(instr.qubits[0])
+                    clbit = circuit.clbit_index(instr.clbits[0])
+                    bits[clbit] = state.measure([qubit], rng=self._rng)
+                    continue
+                self._apply(state, circuit, instr)
+            key = self._format_bits(bits, num_clbits) if bits else ""
+            if key:
+                counts[key] = counts.get(key, 0) + 1
+                if memory:
+                    shot_values.append(key)
+        return Result(
+            counts=counts,
+            shots=shots,
+            statevector=None,
+            memory=shot_values if memory else None,
+        )

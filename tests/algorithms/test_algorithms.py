@@ -1,0 +1,257 @@
+"""Unit and property tests for the algorithm library."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import (
+    amplitudes_for_values,
+    build_balanced_oracle,
+    build_constant_oracle,
+    build_diffusion,
+    build_oracle_from_function,
+    build_phase_oracle,
+    build_uniform_superposition,
+    build_value_superposition,
+    classical_query_count,
+    entanglement_swapping_chain,
+    estimate_phase,
+    grover_circuit,
+    grover_search,
+    grover_substring_search,
+    optimal_iterations,
+    run_deutsch_jozsa,
+    run_entanglement_propagation,
+    substring_match_positions,
+)
+from repro.algorithms.entanglement import bell_pair_circuit
+from repro.algorithms.phase_estimation import phase_estimation_circuit
+from repro.qsim import gates
+from repro.qsim.circuit import QuantumCircuit
+from repro.qsim.exceptions import CircuitError
+from repro.qsim.simulator import StatevectorSimulator
+
+SIM = StatevectorSimulator(seed=123)
+
+
+class TestSuperposition:
+    def test_amplitudes_single_value(self):
+        amps = amplitudes_for_values([3], 3)
+        assert np.isclose(abs(amps[3]), 1.0)
+
+    def test_amplitudes_two_values_equal_weight(self):
+        amps = amplitudes_for_values([1, 2], 2)
+        assert np.isclose(abs(amps[1]) ** 2, 0.5)
+        assert np.isclose(abs(amps[2]) ** 2, 0.5)
+
+    def test_amplitudes_weighted(self):
+        amps = amplitudes_for_values([0, 1], 1, weights=[1.0, 3.0])
+        assert abs(amps[1]) > abs(amps[0])
+        assert np.isclose(np.linalg.norm(amps), 1.0)
+
+    def test_value_out_of_range(self):
+        with pytest.raises(CircuitError):
+            amplitudes_for_values([4], 2)
+
+    def test_empty_values(self):
+        with pytest.raises(CircuitError):
+            amplitudes_for_values([], 2)
+
+    def test_build_value_superposition_circuit(self):
+        qc = QuantumCircuit(2)
+        build_value_superposition(qc, [0, 1], [1, 3])
+        state = SIM.evolve(qc)
+        probs = state.probabilities([0, 1])
+        assert np.isclose(probs[1], 0.5) and np.isclose(probs[3], 0.5)
+
+    def test_uniform_superposition(self):
+        qc = QuantumCircuit(3)
+        build_uniform_superposition(qc, list(range(3)))
+        state = SIM.evolve(qc)
+        assert np.allclose(state.probabilities(), np.full(8, 1 / 8))
+
+    @given(values=st.lists(st.integers(0, 7), min_size=1, max_size=6))
+    @settings(max_examples=30, deadline=None)
+    def test_amplitudes_normalised_property(self, values):
+        amps = amplitudes_for_values(values, 3)
+        assert np.isclose(np.linalg.norm(amps), 1.0)
+        support = {i for i, a in enumerate(amps) if abs(a) > 1e-12}
+        assert support == set(values)
+
+
+class TestGrover:
+    def test_phase_oracle_flips_only_marked(self):
+        oracle = build_phase_oracle(3, [5])
+        qc = QuantumCircuit(3)
+        build_uniform_superposition(qc, range(3))
+        qc.compose(oracle)
+        state = SIM.evolve(qc)
+        signs = np.sign(np.real(state.data * np.sqrt(8)))
+        assert signs[5] == -1
+        assert all(signs[i] == 1 for i in range(8) if i != 5)
+
+    def test_diffusion_preserves_uniform(self):
+        qc = QuantumCircuit(3)
+        build_uniform_superposition(qc, range(3))
+        qc.compose(build_diffusion(3))
+        state = SIM.evolve(qc)
+        assert np.allclose(state.probabilities(), np.full(8, 1 / 8), atol=1e-9)
+
+    def test_optimal_iterations_values(self):
+        assert optimal_iterations(3, 1) == 2
+        assert optimal_iterations(4, 1) == 3
+        assert optimal_iterations(2, 4) == 1
+        with pytest.raises(CircuitError):
+            optimal_iterations(3, 0)
+
+    def test_grover_single_marked(self):
+        result = grover_search([5], 3, shots=512)
+        assert result.found
+        assert result.value == 5
+        assert result.success_probability > 0.8
+
+    def test_grover_multiple_marked(self):
+        result = grover_search([2, 7], 4, shots=512)
+        assert result.found
+        assert result.value in (2, 7)
+        assert result.success_probability > 0.8
+
+    def test_grover_beats_classical_guessing(self):
+        # single marked item among 16: classical single query succeeds w.p. 1/16
+        result = grover_search([9], 4, shots=512)
+        assert result.success_probability > 10 * (1 / 16)
+
+    def test_grover_query_count_scaling(self):
+        # O(sqrt(N)) iterations
+        assert optimal_iterations(8, 1) <= 13  # pi/4 * sqrt(256) ~ 12.5
+        assert optimal_iterations(8, 1) >= 10
+
+    def test_grover_circuit_structure(self):
+        qc = grover_circuit(3, [1], iterations=2, measure=False)
+        counts = qc.count_ops()
+        assert counts.get("h", 0) >= 3
+        assert not qc.has_measurements()
+
+    def test_marked_value_out_of_range(self):
+        with pytest.raises(CircuitError):
+            build_phase_oracle(2, [7])
+
+
+class TestSubstringSearch:
+    def test_classical_reference(self):
+        assert substring_match_positions("010110", "01") == [0, 2]
+        assert substring_match_positions("0000", "1") == []
+        assert substring_match_positions("01", "0101") == []
+
+    def test_found_pattern(self):
+        result = grover_substring_search("010110", "11", shots=512)
+        assert result.found
+        assert result.value == 3
+        assert result.oracle_queries >= 1
+
+    def test_multiple_occurrences(self):
+        result = grover_substring_search("0101010", "01", shots=512)
+        assert result.found
+        assert result.value in substring_match_positions("0101010", "01")
+
+    def test_absent_pattern(self):
+        result = grover_substring_search("000000", "11", shots=256)
+        assert not result.found
+        assert result.oracle_queries == 0
+
+    def test_non_bitstring_rejected(self):
+        with pytest.raises(CircuitError):
+            grover_substring_search("01a0", "01")
+        with pytest.raises(CircuitError):
+            grover_substring_search("0110", "")
+
+
+class TestDeutschJozsa:
+    def test_constant_zero(self):
+        result = run_deutsch_jozsa(build_constant_oracle(3, 0))
+        assert result.is_constant
+
+    def test_constant_one(self):
+        result = run_deutsch_jozsa(build_constant_oracle(3, 1))
+        assert result.is_constant
+
+    def test_balanced_default_mask(self):
+        result = run_deutsch_jozsa(build_balanced_oracle(3))
+        assert not result.is_constant
+
+    @pytest.mark.parametrize("mask", [1, 2, 5, 7])
+    def test_balanced_masks(self, mask):
+        result = run_deutsch_jozsa(build_balanced_oracle(3, mask))
+        assert not result.is_constant
+
+    def test_truth_table_oracle_balanced(self):
+        oracle = build_oracle_from_function(3, lambda x: x & 1)
+        result = run_deutsch_jozsa(oracle)
+        assert not result.is_constant
+
+    def test_truth_table_oracle_constant(self):
+        oracle = build_oracle_from_function(2, lambda x: 1)
+        result = run_deutsch_jozsa(oracle)
+        assert result.is_constant
+
+    def test_query_counts(self):
+        result = run_deutsch_jozsa(build_balanced_oracle(4))
+        assert result.quantum_queries == 1
+        assert result.classical_queries == classical_query_count(4) == 9
+
+    def test_invalid_mask(self):
+        with pytest.raises(CircuitError):
+            build_balanced_oracle(3, 0)
+
+    def test_invalid_constant_output(self):
+        with pytest.raises(CircuitError):
+            build_constant_oracle(3, 2)
+
+
+class TestEntanglement:
+    def test_bell_pair_counts(self):
+        qc = bell_pair_circuit()
+        qc.measure_all()
+        result = SIM.run(qc, shots=400)
+        assert set(result.counts) <= {"00", "11"}
+
+    def test_chain_circuit_structure(self):
+        qc = entanglement_swapping_chain(6)
+        assert qc.num_qubits == 6
+        assert qc.has_measurements()
+
+    def test_chain_requires_even(self):
+        with pytest.raises(CircuitError):
+            entanglement_swapping_chain(5)
+        with pytest.raises(CircuitError):
+            run_entanglement_propagation(3)
+
+    @pytest.mark.parametrize("n", [2, 4, 6, 8])
+    def test_propagation_perfect_correlation(self, n):
+        result = run_entanglement_propagation(n, shots=64)
+        assert result.correlation > 0.99
+        assert result.fidelity_with_bell > 0.99
+
+
+class TestPhaseEstimation:
+    def test_t_gate_phase(self):
+        # T gate has eigenphase 1/8 on |1>
+        phase = estimate_phase(gates.T, np.array([0, 1]), num_counting_qubits=4, shots=256)
+        assert np.isclose(phase, 1 / 8)
+
+    def test_z_gate_phase(self):
+        phase = estimate_phase(gates.Z, np.array([0, 1]), num_counting_qubits=3, shots=256)
+        assert np.isclose(phase, 1 / 2)
+
+    def test_identity_eigenstate(self):
+        phase = estimate_phase(gates.Z, np.array([1, 0]), num_counting_qubits=3, shots=256)
+        assert np.isclose(phase, 0.0)
+
+    def test_circuit_has_measurements(self):
+        qc = phase_estimation_circuit(gates.S, 3)
+        assert qc.has_measurements()
+
+    def test_bad_unitary_dimension(self):
+        with pytest.raises(CircuitError):
+            phase_estimation_circuit(np.eye(3), 3)

@@ -1,0 +1,99 @@
+"""Tests for Dürr--Høyer minimum/maximum finding and the language builtins."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.minimum_finding import find_maximum, find_minimum
+from repro.lang import QutesTypeError, run_source
+from repro.qsim.exceptions import CircuitError
+
+
+class TestDurrHoyer:
+    def test_minimum_simple_list(self):
+        result = find_minimum([7, 3, 9, 5], seed=1)
+        assert result.success
+        assert result.value == 3
+
+    def test_minimum_with_duplicates(self):
+        result = find_minimum([4, 4, 2, 2, 9], seed=2)
+        assert result.value == 2
+
+    def test_minimum_singleton(self):
+        result = find_minimum([42], seed=3)
+        assert result.value == 42
+        assert result.success
+
+    def test_minimum_already_sorted(self):
+        result = find_minimum(list(range(1, 9)), seed=4)
+        assert result.value == 1
+
+    def test_maximum(self):
+        result = find_maximum([7, 3, 9, 5], seed=5)
+        assert result.success
+        assert result.value == 9
+
+    def test_empty_rejected(self):
+        with pytest.raises(CircuitError):
+            find_minimum([])
+        with pytest.raises(CircuitError):
+            find_maximum([])
+
+    def test_oracle_query_scaling(self):
+        # O(sqrt(N)) rounds: for 16 elements the bound is far below N
+        result = find_minimum(list(range(16, 0, -1)), seed=6)
+        assert result.success
+        assert result.grover_rounds <= 4 * 4 + 4
+
+    def test_index_points_to_value(self):
+        values = [12, 5, 30, 8]
+        result = find_minimum(values, seed=7)
+        assert values[result.index] == result.value
+
+    @given(values=st.lists(st.integers(0, 63), min_size=1, max_size=12))
+    @settings(max_examples=20, deadline=None)
+    def test_minimum_property(self, values):
+        result = find_minimum(values, seed=11)
+        assert result.value == min(values) or not result.success
+        # the returned value is always an element of the input
+        assert result.value in values
+
+    @given(values=st.lists(st.integers(0, 63), min_size=1, max_size=12))
+    @settings(max_examples=15, deadline=None)
+    def test_maximum_property(self, values):
+        result = find_maximum(values, seed=13)
+        assert result.value in values
+        if result.success:
+            assert result.value == max(values)
+
+
+class TestLanguageBuiltins:
+    def test_min_of(self):
+        assert run_source("print min_of([7, 3, 9, 5]);", seed=1).printed == "3"
+
+    def test_max_of(self):
+        assert run_source("print max_of([7, 3, 9, 5]);", seed=1).printed == "9"
+
+    def test_min_of_quantum_array(self):
+        source = """
+            quint[4] a = 9q;
+            quint[4] b = 4q;
+            print min_of([a, b]);
+        """
+        assert run_source(source, seed=2).printed == "4"
+
+    def test_min_of_variable_array(self):
+        source = """
+            int[] xs = [10, 2, 8];
+            print min_of(xs);
+            print max_of(xs);
+        """
+        assert run_source(source, seed=3).output == ["2", "10"]
+
+    def test_min_of_rejects_non_array(self):
+        with pytest.raises(QutesTypeError):
+            run_source("print min_of(3);")
+
+    def test_min_of_rejects_empty(self):
+        with pytest.raises(QutesTypeError):
+            run_source("int[] xs = []; print min_of(xs);")

@@ -1,0 +1,222 @@
+"""Unit tests for the Qutes parser."""
+
+import pytest
+
+from repro.lang import ast_nodes as ast
+from repro.lang.errors import QutesSyntaxError
+from repro.lang.parser import parse
+from repro.lang.types import QutesType, TypeKind
+
+
+def single(source):
+    program = parse(source)
+    assert len(program.statements) == 1
+    return program.statements[0]
+
+
+class TestDeclarations:
+    def test_int_declaration(self):
+        node = single("int x = 3;")
+        assert isinstance(node, ast.VarDeclaration)
+        assert node.type == QutesType.int_()
+        assert node.name == "x"
+        assert isinstance(node.initializer, ast.Literal)
+
+    def test_declaration_without_initializer(self):
+        node = single("quint q;")
+        assert node.initializer is None
+        assert node.type == QutesType.quint()
+
+    def test_array_declaration(self):
+        node = single("int[] xs = [1, 2, 3];")
+        assert node.type == QutesType.array_of(QutesType.int_())
+        assert isinstance(node.initializer, ast.ArrayLiteral)
+        assert len(node.initializer.elements) == 3
+
+    def test_quantum_array_declaration(self):
+        node = single("qubit[] qs = [|0>, |1>];")
+        assert node.type == QutesType.array_of(QutesType.qubit())
+
+    def test_void_variable_rejected(self):
+        with pytest.raises(QutesSyntaxError):
+            parse("void x;")
+
+    def test_missing_semicolon(self):
+        with pytest.raises(QutesSyntaxError):
+            parse("int x = 3")
+
+    def test_function_declaration(self):
+        node = single("function int add(int a, int b) { return a + b; }")
+        assert isinstance(node, ast.FunctionDeclaration)
+        assert node.name == "add"
+        assert [p.name for p in node.parameters] == ["a", "b"]
+        assert node.return_type == QutesType.int_()
+
+    def test_function_void_and_no_params(self):
+        node = single("function void go() { print 1; }")
+        assert node.return_type == QutesType.void()
+        assert node.parameters == []
+
+    def test_function_quantum_param(self):
+        node = single("function quint id(quint x) { return x; }")
+        assert node.parameters[0].type == QutesType.quint()
+
+
+class TestStatements:
+    def test_if_else(self):
+        node = single("if (x > 1) { print 1; } else { print 2; }")
+        assert isinstance(node, ast.If)
+        assert node.else_branch is not None
+
+    def test_if_without_else(self):
+        node = single("if (true) print 1;")
+        assert node.else_branch is None
+
+    def test_while(self):
+        node = single("while (i < 10) { i = i + 1; }")
+        assert isinstance(node, ast.While)
+
+    def test_do_while(self):
+        node = single("do { i = i + 1; } while (i < 3);")
+        assert isinstance(node, ast.DoWhile)
+
+    def test_foreach(self):
+        node = single("foreach x in xs { print x; }")
+        assert isinstance(node, ast.Foreach)
+        assert node.variable == "x"
+
+    def test_return_with_and_without_value(self):
+        assert single("return;").value is None
+        assert isinstance(single("return 2;").value, ast.Literal)
+
+    def test_print(self):
+        assert isinstance(single("print 3;"), ast.Print)
+
+    def test_barrier(self):
+        assert isinstance(single("barrier;"), ast.BarrierStatement)
+
+    def test_block(self):
+        node = single("{ int a = 1; int b = 2; }")
+        assert isinstance(node, ast.Block)
+        assert len(node.statements) == 2
+
+    def test_assignment_statement(self):
+        node = single("x = 3;")
+        assert isinstance(node, ast.ExpressionStatement)
+        assert isinstance(node.expression, ast.Assignment)
+
+    def test_index_assignment(self):
+        node = single("xs[0] = 3;")
+        assert isinstance(node.expression.target, ast.IndexAccess)
+
+    def test_invalid_assignment_target(self):
+        with pytest.raises(QutesSyntaxError):
+            parse("1 = 2;")
+
+    def test_unclosed_block(self):
+        with pytest.raises(QutesSyntaxError):
+            parse("{ int a = 1;")
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        node = single("x = 1 + 2 * 3;").expression.value
+        assert isinstance(node, ast.Binary) and node.operator == "+"
+        assert isinstance(node.right, ast.Binary) and node.right.operator == "*"
+
+    def test_parentheses_override(self):
+        node = single("x = (1 + 2) * 3;").expression.value
+        assert node.operator == "*"
+
+    def test_comparison_below_logic(self):
+        node = single("x = a > 1 and b < 2;").expression.value
+        assert isinstance(node, ast.Logical) and node.operator == "and"
+        assert isinstance(node.left, ast.Comparison)
+
+    def test_or_and_precedence(self):
+        node = single("x = a or b and c;").expression.value
+        assert node.operator == "or"
+        assert isinstance(node.right, ast.Logical) and node.right.operator == "and"
+
+    def test_not_unary(self):
+        node = single("x = not a;").expression.value
+        assert isinstance(node, ast.Unary) and node.operator == "not"
+
+    def test_in_expression(self):
+        node = single('x = "01" in text;').expression.value
+        assert isinstance(node, ast.InExpression)
+
+    def test_shift_expression(self):
+        node = single("x = a << 2;").expression.value
+        assert isinstance(node, ast.ShiftExpression) and node.operator == "<<"
+
+    def test_gate_application(self):
+        node = single("hadamard q;").expression
+        assert isinstance(node, ast.GateApplication) and node.gate == "hadamard"
+
+    def test_measure_expression(self):
+        node = single("x = measure q;").expression.value
+        assert isinstance(node, ast.GateApplication) and node.gate == "measure"
+
+    def test_call_with_arguments(self):
+        node = single("x = foo(1, 2 + 3);").expression.value
+        assert isinstance(node, ast.Call)
+        assert len(node.arguments) == 2
+
+    def test_index_access_chain(self):
+        node = single("x = xs[1];").expression.value
+        assert isinstance(node, ast.IndexAccess)
+
+    def test_quantum_literals(self):
+        node = single("quint q = 6q;")
+        assert isinstance(node.initializer, ast.QuantumLiteral)
+        node = single('qustring s = "0101"q;')
+        assert isinstance(node.initializer, ast.QuantumLiteral)
+        node = single("qubit k = |+>;")
+        assert isinstance(node.initializer, ast.KetLiteral)
+
+    def test_unary_minus(self):
+        node = single("x = -3;").expression.value
+        assert isinstance(node, ast.Unary) and node.operator == "-"
+
+    def test_unexpected_token(self):
+        with pytest.raises(QutesSyntaxError):
+            parse("x = ;")
+
+    def test_line_numbers_recorded(self):
+        program = parse("int a = 1;\nint b = 2;\n")
+        assert program.statements[0].line == 1
+        assert program.statements[1].line == 2
+
+
+class TestWholePrograms:
+    def test_grover_showcase_parses(self):
+        source = '''
+            qustring text = "0101110";
+            bool found = "11" in text;
+            if (found) { print "found"; } else { print "missing"; }
+        '''
+        program = parse(source)
+        assert len(program.statements) == 3
+
+    def test_deutsch_jozsa_style_program_parses(self):
+        source = """
+            function bool is_balanced(quint register) {
+                hadamard register;
+                return measure register > 0;
+            }
+            quint input = 0q;
+            print is_balanced(input);
+        """
+        program = parse(source)
+        assert isinstance(program.statements[0], ast.FunctionDeclaration)
+
+    def test_nested_control_flow(self):
+        source = """
+            int total = 0;
+            foreach x in [1, 2, 3] {
+                if (x % 2 == 1) { total = total + x; }
+                while (false) { total = 0; }
+            }
+        """
+        parse(source)

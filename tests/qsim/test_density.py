@@ -1,0 +1,179 @@
+"""Tests for the density-matrix simulator and exact noise channels."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.qsim import gates
+from repro.qsim.circuit import QuantumCircuit
+from repro.qsim.density import (
+    DensityMatrix,
+    DensityMatrixSimulator,
+    amplitude_damping_kraus,
+    bit_flip_kraus,
+    depolarizing_kraus,
+    phase_flip_kraus,
+)
+from repro.qsim.exceptions import SimulationError
+from repro.qsim.noise import BitFlipNoise
+from repro.qsim.simulator import StatevectorSimulator
+from repro.qsim.statevector import Statevector
+
+
+class TestKrausChannels:
+    @pytest.mark.parametrize("factory", [bit_flip_kraus, phase_flip_kraus, depolarizing_kraus, amplitude_damping_kraus])
+    def test_completeness_relation(self, factory):
+        kraus = factory(0.3)
+        total = sum(k.conj().T @ k for k in kraus)
+        assert np.allclose(total, np.eye(2), atol=1e-12)
+
+    @pytest.mark.parametrize("factory", [bit_flip_kraus, depolarizing_kraus])
+    def test_invalid_probability(self, factory):
+        with pytest.raises(SimulationError):
+            factory(1.5)
+
+    def test_zero_probability_is_identity_channel(self):
+        dm = DensityMatrix.from_statevector(Statevector.from_label("+"))
+        before = dm.data.copy()
+        dm.apply_kraus(bit_flip_kraus(0.0), [0])
+        assert np.allclose(dm.data, before)
+
+
+class TestDensityMatrix:
+    def test_zero_state(self):
+        dm = DensityMatrix.zero_state(2)
+        assert dm.purity() == pytest.approx(1.0)
+        assert np.isclose(dm.probabilities([0, 1])[0], 1.0)
+
+    def test_from_statevector_matches_probabilities(self):
+        sv = Statevector.zero_state(2)
+        sv.apply_unitary(gates.H, [0])
+        sv.apply_unitary(gates.CX, [0, 1])
+        dm = DensityMatrix.from_statevector(sv)
+        assert np.allclose(dm.probabilities([0, 1]), sv.probabilities([0, 1]))
+        assert dm.purity() == pytest.approx(1.0)
+
+    def test_maximally_mixed(self):
+        dm = DensityMatrix.maximally_mixed(2)
+        assert dm.purity() == pytest.approx(0.25)
+        assert np.allclose(dm.probabilities([0, 1]), np.full(4, 0.25))
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            DensityMatrix(np.ones((2, 3)))
+        with pytest.raises(SimulationError):
+            DensityMatrix(np.array([[0, 1], [0, 0]]))  # not Hermitian
+
+    def test_unitary_evolution_matches_statevector(self):
+        sv = Statevector.zero_state(3)
+        dm = DensityMatrix.zero_state(3)
+        ops = [
+            (gates.H, [0]),
+            (gates.CX, [0, 1]),
+            (gates.T, [1]),
+            (gates.CCX, [0, 1, 2]),
+            (gates.ry(0.7), [2]),
+        ]
+        for matrix, targets in ops:
+            sv.apply_unitary(matrix, targets)
+            dm.apply_unitary(matrix, targets)
+        assert np.allclose(dm.probabilities(), sv.probabilities(), atol=1e-9)
+        assert dm.fidelity_with_pure(sv) == pytest.approx(1.0)
+
+    def test_bit_flip_channel_mixes_state(self):
+        dm = DensityMatrix.zero_state(1)
+        dm.apply_kraus(bit_flip_kraus(0.25), [0])
+        assert dm.purity() < 1.0
+        assert np.allclose(dm.probabilities([0]), [0.75, 0.25])
+
+    def test_amplitude_damping_decays_excited_state(self):
+        dm = DensityMatrix.from_statevector(Statevector.from_label("1"))
+        dm.apply_kraus(amplitude_damping_kraus(0.4), [0])
+        assert np.isclose(dm.probabilities([0])[0], 0.4)
+
+    def test_depolarizing_limits_to_maximally_mixed(self):
+        dm = DensityMatrix.from_statevector(Statevector.from_label("+"))
+        for _ in range(50):
+            dm.apply_kraus(depolarizing_kraus(0.5), [0])
+        assert np.allclose(dm.probabilities([0]), [0.5, 0.5], atol=1e-3)
+        assert dm.purity() == pytest.approx(0.5, abs=1e-3)
+
+    def test_measurement_collapse(self):
+        dm = DensityMatrix.from_statevector(Statevector.from_label("+"))
+        outcome = dm.measure([0], rng=np.random.default_rng(0))
+        assert outcome in (0, 1)
+        assert np.isclose(dm.probabilities([0])[outcome], 1.0)
+        assert dm.purity() == pytest.approx(1.0)
+
+    def test_expectation_z(self):
+        dm = DensityMatrix.zero_state(1)
+        assert dm.expectation_z(0) == pytest.approx(1.0)
+        dm.apply_unitary(gates.X, [0])
+        assert dm.expectation_z(0) == pytest.approx(-1.0)
+
+
+class TestDensityMatrixSimulator:
+    def test_matches_statevector_on_noiseless_circuit(self):
+        qc = QuantumCircuit(2)
+        qc.h(0).cx(0, 1).t(1).rz(0.4, 0)
+        dm = DensityMatrixSimulator(seed=0).evolve(qc)
+        sv = StatevectorSimulator(seed=0).evolve(qc)
+        assert np.allclose(dm.probabilities(), sv.probabilities(), atol=1e-9)
+        assert dm.fidelity_with_pure(sv) == pytest.approx(1.0)
+
+    def test_initialize_over_all_qubits(self):
+        qc = QuantumCircuit(2)
+        qc.initialize(np.array([1, 0, 0, 1]) / np.sqrt(2), [0, 1])
+        dm = DensityMatrixSimulator(seed=0).evolve(qc)
+        assert np.allclose(dm.probabilities([0, 1]), [0.5, 0, 0, 0.5])
+
+    def test_partial_initialize_rejected(self):
+        qc = QuantumCircuit(2)
+        qc.initialize(1, [0])
+        with pytest.raises(SimulationError):
+            DensityMatrixSimulator(seed=0).evolve(qc)
+
+    def test_gate_noise_degrades_bell_fidelity(self):
+        qc = QuantumCircuit(2)
+        qc.h(0).cx(0, 1)
+        noisy = DensityMatrixSimulator(seed=0, gate_noise={1: depolarizing_kraus(0.05), 2: depolarizing_kraus(0.05)})
+        dm = noisy.evolve(qc)
+        bell = StatevectorSimulator(seed=0).evolve(qc)
+        fidelity = dm.fidelity_with_pure(bell)
+        assert 0.7 < fidelity < 1.0
+
+    def test_exact_channel_matches_trajectory_average(self):
+        # bit-flip p=0.2 after a single X gate: exact channel vs Monte Carlo
+        qc = QuantumCircuit(1, 1)
+        qc.x(0)
+        qc.measure(0, 0)
+        exact = DensityMatrixSimulator(seed=1, gate_noise={1: bit_flip_kraus(0.2)})
+        exact_counts = exact.run_counts(qc, shots=200_00)
+        trajectory = StatevectorSimulator(seed=1, noise_model=BitFlipNoise(0.2))
+        traj_counts = trajectory.run(qc, shots=200_00).counts
+        exact_p1 = exact_counts.get(1, 0) / 200_00
+        traj_p1 = traj_counts.get("1", 0) / 200_00
+        assert abs(exact_p1 - 0.8) < 0.02
+        assert abs(traj_p1 - exact_p1) < 0.03
+
+    def test_run_counts_requires_measurements(self):
+        qc = QuantumCircuit(1)
+        qc.h(0)
+        with pytest.raises(SimulationError):
+            DensityMatrixSimulator(seed=0).run_counts(qc)
+
+    def test_reset_in_circuit(self):
+        qc = QuantumCircuit(1)
+        qc.x(0).reset(0)
+        dm = DensityMatrixSimulator(seed=0).evolve(qc)
+        assert np.isclose(dm.probabilities([0])[0], 1.0)
+
+    def test_measure_in_circuit_collapses(self):
+        qc = QuantumCircuit(2, 1)
+        qc.h(0).cx(0, 1)
+        qc.measure(0, 0)
+        dm = DensityMatrixSimulator(seed=3).evolve(qc)
+        probs = dm.probabilities([0, 1])
+        # after measuring one half of a Bell pair both qubits agree
+        assert np.isclose(probs[0] + probs[3], 1.0)

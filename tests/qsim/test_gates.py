@@ -1,0 +1,162 @@
+"""Unit and property tests for the gate matrix library."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.qsim import gates
+
+
+ALL_FIXED = {
+    "I1": gates.I1,
+    "X": gates.X,
+    "Y": gates.Y,
+    "Z": gates.Z,
+    "H": gates.H,
+    "S": gates.S,
+    "SDG": gates.SDG,
+    "T": gates.T,
+    "TDG": gates.TDG,
+    "SX": gates.SX,
+    "CX": gates.CX,
+    "CY": gates.CY,
+    "CZ": gates.CZ,
+    "CH": gates.CH,
+    "SWAP": gates.SWAP,
+    "ISWAP": gates.ISWAP,
+    "CCX": gates.CCX,
+    "CSWAP": gates.CSWAP,
+}
+
+
+class TestFixedGates:
+    @pytest.mark.parametrize("name", sorted(ALL_FIXED))
+    def test_all_fixed_gates_unitary(self, name):
+        assert gates.is_unitary(ALL_FIXED[name])
+
+    def test_pauli_algebra(self):
+        assert np.allclose(gates.X @ gates.X, np.eye(2))
+        assert np.allclose(gates.X @ gates.Y - gates.Y @ gates.X, 2j * gates.Z)
+        assert np.allclose(gates.H @ gates.X @ gates.H, gates.Z)
+
+    def test_s_and_t_relations(self):
+        assert np.allclose(gates.S @ gates.S, gates.Z)
+        assert np.allclose(gates.T @ gates.T, gates.S)
+        assert np.allclose(gates.SDG @ gates.S, np.eye(2))
+
+    def test_sx_squares_to_x(self):
+        assert np.allclose(gates.SX @ gates.SX, gates.X)
+
+    def test_cx_action_on_basis(self):
+        # control listed first and most significant: |10> -> |11>
+        state = np.zeros(4)
+        state[2] = 1.0
+        assert np.allclose(gates.CX @ state, np.eye(4)[3])
+
+    def test_swap_matrix(self):
+        state = np.zeros(4)
+        state[1] = 1.0  # |01>
+        assert np.allclose(gates.SWAP @ state, np.eye(4)[2])
+
+    def test_ccx_only_flips_when_both_controls_set(self):
+        for idx in range(8):
+            out = gates.CCX @ np.eye(8)[idx]
+            expected = idx ^ 1 if idx >= 6 else idx
+            assert np.isclose(abs(out[expected]), 1.0)
+
+
+class TestParametricGates:
+    def test_rx_pi_is_x_up_to_phase(self):
+        assert np.allclose(gates.rx(math.pi), -1j * gates.X)
+
+    def test_ry_pi_is_y_up_to_phase(self):
+        assert np.allclose(gates.ry(math.pi), -1j * gates.Y)
+
+    def test_rz_pi_is_z_up_to_phase(self):
+        assert np.allclose(gates.rz(math.pi), -1j * gates.Z)
+
+    def test_phase_gate_values(self):
+        assert np.allclose(gates.phase(math.pi), gates.Z)
+        assert np.allclose(gates.phase(math.pi / 2), gates.S)
+
+    def test_u3_reduces_to_known_gates(self):
+        assert np.allclose(gates.u3(math.pi, 0, math.pi), gates.X)
+        assert np.allclose(gates.u3(0, 0, 0), np.eye(2))
+
+    @given(theta=st.floats(-10, 10, allow_nan=False))
+    @settings(max_examples=40, deadline=None)
+    def test_rotations_are_unitary(self, theta):
+        for factory in (gates.rx, gates.ry, gates.rz, gates.phase):
+            assert gates.is_unitary(factory(theta))
+
+    @given(theta=st.floats(-6, 6), phi=st.floats(-6, 6), lam=st.floats(-6, 6))
+    @settings(max_examples=40, deadline=None)
+    def test_u3_unitary(self, theta, phi, lam):
+        assert gates.is_unitary(gates.u3(theta, phi, lam))
+
+    def test_two_qubit_rotations(self):
+        for factory in (gates.rxx, gates.ryy, gates.rzz):
+            m = factory(0.7)
+            assert gates.is_unitary(m)
+            assert np.allclose(factory(0.0), np.eye(4))
+
+    def test_rzz_diagonal(self):
+        theta = 1.1
+        m = gates.rzz(theta)
+        assert np.allclose(m, np.diag(np.diag(m)))
+
+
+class TestCombinators:
+    def test_controlled_adds_control_block(self):
+        cu = gates.controlled(gates.H)
+        assert cu.shape == (4, 4)
+        assert np.allclose(cu[:2, :2], np.eye(2))
+        assert np.allclose(cu[2:, 2:], gates.H)
+
+    def test_double_controlled_x_is_ccx(self):
+        assert np.allclose(gates.controlled(gates.X, 2), gates.CCX)
+
+    def test_controlled_zero_is_identity_wrapper(self):
+        assert np.allclose(gates.controlled(gates.X, 0), gates.X)
+
+    def test_controlled_negative_raises(self):
+        with pytest.raises(ValueError):
+            gates.controlled(gates.X, -1)
+
+    def test_expand_kron_order(self):
+        m = gates.expand(gates.X, gates.I1)
+        state = np.zeros(4)
+        state[0] = 1.0  # |00>
+        # left factor is most significant -> X acts on the first listed qubit
+        assert np.allclose(m @ state, np.eye(4)[2])
+
+
+class TestRegistry:
+    def test_every_registry_entry_produces_unitary(self):
+        for name, (nq, _) in gates.GATE_REGISTRY.items():
+            params = {
+                "rx": [0.3], "ry": [0.3], "rz": [0.3], "p": [0.3],
+                "u2": [0.1, 0.2], "u3": [0.1, 0.2, 0.3],
+                "crx": [0.3], "cry": [0.3], "crz": [0.3], "cp": [0.3],
+                "rxx": [0.3], "ryy": [0.3], "rzz": [0.3],
+            }.get(name, [])
+            m = gates.gate_matrix(name, params)
+            assert m.shape == (2**nq, 2**nq)
+            assert gates.is_unitary(m)
+
+    def test_unknown_gate_raises(self):
+        with pytest.raises(KeyError):
+            gates.gate_matrix("bogus")
+
+    def test_wrong_param_count_raises(self):
+        with pytest.raises(ValueError):
+            gates.gate_matrix("rx")
+        with pytest.raises(ValueError):
+            gates.gate_matrix("x", [0.1])
+
+    def test_is_unitary_rejects_non_square(self):
+        assert not gates.is_unitary(np.ones((2, 3)))
+        assert not gates.is_unitary(np.ones((2, 2)))

@@ -1,0 +1,202 @@
+"""Tests for the peephole circuit optimiser."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.qsim.circuit import QuantumCircuit
+from repro.qsim.optimizer import (
+    cancel_adjacent_inverses,
+    merge_rotations,
+    optimization_summary,
+    optimize,
+    remove_identities,
+)
+from repro.qsim.simulator import StatevectorSimulator
+from repro.qsim.statevector import Statevector
+
+SIM = StatevectorSimulator(seed=0)
+
+
+def _states_equal(a: QuantumCircuit, b: QuantumCircuit) -> bool:
+    """Check both circuits act identically on a handful of basis states."""
+    n = a.num_qubits
+    for value in range(min(2**n, 8)):
+        sa = SIM.evolve(a, initial_state=Statevector.from_int(value, n))
+        sb = SIM.evolve(b, initial_state=Statevector.from_int(value, n))
+        if not np.allclose(sa.data, sb.data, atol=1e-9):
+            return False
+    return True
+
+
+class TestCancellation:
+    def test_double_x_cancels(self):
+        qc = QuantumCircuit(1)
+        qc.x(0).x(0)
+        assert cancel_adjacent_inverses(qc).size() == 0
+
+    def test_double_h_cancels(self):
+        qc = QuantumCircuit(1)
+        qc.h(0).h(0)
+        assert cancel_adjacent_inverses(qc).size() == 0
+
+    def test_s_sdg_cancels(self):
+        qc = QuantumCircuit(1)
+        qc.s(0).sdg(0)
+        assert cancel_adjacent_inverses(qc).size() == 0
+
+    def test_double_cx_cancels(self):
+        qc = QuantumCircuit(2)
+        qc.cx(0, 1).cx(0, 1)
+        assert cancel_adjacent_inverses(qc).size() == 0
+
+    def test_cx_different_direction_not_cancelled(self):
+        qc = QuantumCircuit(2)
+        qc.cx(0, 1).cx(1, 0)
+        assert cancel_adjacent_inverses(qc).size() == 2
+
+    def test_interleaved_other_qubit_does_not_block(self):
+        qc = QuantumCircuit(2)
+        qc.x(0).h(1).x(0)
+        optimized = cancel_adjacent_inverses(qc)
+        assert optimized.count_ops() == {"h": 1}
+
+    def test_gate_on_same_qubit_blocks_cancellation(self):
+        qc = QuantumCircuit(1)
+        qc.x(0).h(0).x(0)
+        assert cancel_adjacent_inverses(qc).size() == 3
+
+    def test_measurement_blocks_cancellation(self):
+        qc = QuantumCircuit(1, 1)
+        qc.x(0)
+        qc.measure(0, 0)
+        qc.x(0)
+        # nothing may be removed: the measurement separates the two X gates
+        assert cancel_adjacent_inverses(qc).size() == 3
+
+    def test_cascading_cancellation(self):
+        qc = QuantumCircuit(1)
+        qc.x(0).h(0).h(0).x(0)
+        assert cancel_adjacent_inverses(qc).size() == 0
+
+    def test_unitary_preserved(self):
+        qc = QuantumCircuit(2)
+        qc.h(0).x(1).x(1).cx(0, 1).cx(0, 1).t(0)
+        assert _states_equal(qc, cancel_adjacent_inverses(qc))
+
+
+class TestRotationMerging:
+    def test_two_rz_merge(self):
+        qc = QuantumCircuit(1)
+        qc.rz(0.3, 0).rz(0.4, 0)
+        merged = merge_rotations(qc)
+        assert merged.size() == 1
+        assert np.isclose(merged.data[0].operation.params[0], 0.7)
+
+    def test_opposite_rotations_vanish(self):
+        qc = QuantumCircuit(1)
+        qc.rx(0.5, 0).rx(-0.5, 0)
+        assert merge_rotations(qc).size() == 0
+
+    def test_full_period_vanishes(self):
+        qc = QuantumCircuit(1)
+        qc.p(math.pi, 0).p(math.pi, 0)
+        assert merge_rotations(qc).size() == 0
+
+    def test_different_axes_not_merged(self):
+        qc = QuantumCircuit(1)
+        qc.rx(0.3, 0).rz(0.3, 0)
+        assert merge_rotations(qc).size() == 2
+
+    def test_different_qubits_not_merged(self):
+        qc = QuantumCircuit(2)
+        qc.rz(0.3, 0).rz(0.3, 1)
+        assert merge_rotations(qc).size() == 2
+
+    def test_blocked_by_intervening_gate(self):
+        qc = QuantumCircuit(1)
+        qc.rz(0.3, 0).h(0).rz(0.3, 0)
+        assert merge_rotations(qc).size() == 3
+
+    def test_unitary_preserved(self):
+        qc = QuantumCircuit(1)
+        qc.rz(0.3, 0).rz(1.1, 0).rx(0.2, 0)
+        assert _states_equal(qc, merge_rotations(qc))
+
+
+class TestIdentityRemoval:
+    def test_id_gates_removed(self):
+        qc = QuantumCircuit(2)
+        qc.id(0).h(1).id(1)
+        assert remove_identities(qc).count_ops() == {"h": 1}
+
+    def test_zero_rotation_removed(self):
+        qc = QuantumCircuit(1)
+        qc.rz(0.0, 0).rx(4 * math.pi, 0).h(0)
+        assert remove_identities(qc).count_ops() == {"h": 1}
+
+    def test_nonzero_rotation_kept(self):
+        qc = QuantumCircuit(1)
+        qc.rz(0.1, 0)
+        assert remove_identities(qc).size() == 1
+
+
+class TestOptimize:
+    def test_fixed_point(self):
+        qc = QuantumCircuit(2)
+        qc.h(0).h(0).rz(0.2, 1).rz(-0.2, 1).id(0).cx(0, 1).cx(0, 1)
+        assert optimize(qc).size() == 0
+
+    def test_preserves_behaviour_random_circuits(self):
+        rng = np.random.default_rng(5)
+        qc = QuantumCircuit(3)
+        for _ in range(30):
+            choice = rng.integers(0, 4)
+            q = int(rng.integers(0, 3))
+            if choice == 0:
+                qc.h(q)
+            elif choice == 1:
+                qc.rz(float(rng.uniform(-3, 3)), q)
+            elif choice == 2:
+                qc.x(q)
+            else:
+                q2 = int((q + 1) % 3)
+                qc.cx(q, q2)
+        optimized = optimize(qc)
+        assert optimized.size() <= qc.size()
+        assert _states_equal(qc, optimized)
+
+    def test_measurements_survive(self):
+        qc = QuantumCircuit(1, 1)
+        qc.h(0).h(0)
+        qc.measure(0, 0)
+        optimized = optimize(qc)
+        assert optimized.has_measurements()
+        assert optimized.size() == 1  # only the measurement remains
+
+    def test_summary(self):
+        qc = QuantumCircuit(1)
+        qc.x(0).x(0).h(0)
+        summary = optimization_summary(qc)
+        assert summary["before"] == 3
+        assert summary["after"] == 1
+        assert summary["removed"] == 2
+
+    @given(angles=st.lists(st.floats(-3, 3), min_size=2, max_size=6))
+    @settings(max_examples=25, deadline=None)
+    def test_merged_rotation_angle_sums(self, angles):
+        qc = QuantumCircuit(1)
+        for angle in angles:
+            qc.rz(angle, 0)
+        merged = merge_rotations(qc)
+        assert merged.size() <= 1
+        total = math.remainder(sum(angles), 4 * math.pi)
+        if merged.size() == 1:
+            assert np.isclose(
+                math.remainder(merged.data[0].operation.params[0], 4 * math.pi), total, atol=1e-9
+            )
+        else:
+            assert abs(total) < 1e-9

@@ -1,0 +1,86 @@
+"""Tests for the ``qutes`` command-line runner."""
+
+import pytest
+
+from repro.cli import build_arg_parser, main
+
+
+@pytest.fixture
+def program_file(tmp_path):
+    path = tmp_path / "program.qut"
+    path.write_text(
+        """
+        quint a = 5q;
+        quint b = a + 3;
+        print b;
+        """
+    )
+    return str(path)
+
+
+class TestArgumentParser:
+    def test_defaults(self):
+        args = build_arg_parser().parse_args(["prog.qut"])
+        assert args.program == "prog.qut"
+        assert args.seed is None
+        assert args.shots == 1024
+        assert not args.show_circuit
+
+    def test_all_flags(self):
+        args = build_arg_parser().parse_args(
+            ["prog.qut", "--seed", "3", "--shots", "64", "--show-circuit", "--qasm", "--show-variables"]
+        )
+        assert args.seed == 3
+        assert args.shots == 64
+        assert args.show_circuit and args.qasm and args.show_variables
+
+
+class TestMain:
+    def test_runs_program(self, program_file, capsys):
+        assert main([program_file, "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "8" in out
+
+    def test_show_circuit(self, program_file, capsys):
+        assert main([program_file, "--seed", "1", "--show-circuit"]) == 0
+        out = capsys.readouterr().out
+        assert "--- circuit ---" in out
+        assert "cp" in out or "h" in out
+
+    def test_show_variables(self, program_file, capsys):
+        assert main([program_file, "--seed", "1", "--show-variables"]) == 0
+        out = capsys.readouterr().out
+        assert "--- variables ---" in out
+        assert "a =" in out
+
+    def test_qasm_output(self, tmp_path, capsys):
+        path = tmp_path / "simple.qut"
+        path.write_text("qubit q = 1q; print q;")
+        assert main([str(path), "--seed", "1", "--qasm"]) == 0
+        out = capsys.readouterr().out
+        assert "OPENQASM 2.0;" in out
+
+    def test_missing_file(self, capsys):
+        assert main(["/nonexistent/path.qut"]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_syntax_error_reports_and_fails(self, tmp_path, capsys):
+        path = tmp_path / "broken.qut"
+        path.write_text("int = ;")
+        assert main([str(path)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_runtime_error_reports_and_fails(self, tmp_path, capsys):
+        path = tmp_path / "runtime.qut"
+        path.write_text("print 1 / 0;")
+        assert main([str(path)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_seed_makes_output_deterministic(self, tmp_path, capsys):
+        path = tmp_path / "coin.qut"
+        path.write_text("qubit q = |+>; print q;")
+        main([str(path), "--seed", "9"])
+        first = capsys.readouterr().out
+        main([str(path), "--seed", "9"])
+        second = capsys.readouterr().out
+        assert first == second
