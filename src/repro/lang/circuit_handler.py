@@ -18,7 +18,7 @@ from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
-from ..qsim import gates
+from ..qsim import gates, kernels
 from ..qsim.circuit import QuantumCircuit
 from ..qsim.instruction import Initialize, Measure
 from ..qsim.registers import ClassicalRegister, QuantumRegister
@@ -26,21 +26,6 @@ from ..qsim.statevector import Statevector
 from .errors import QutesRuntimeError
 
 __all__ = ["QuantumCircuitHandler"]
-
-_GATE_MATRICES = {
-    "h": gates.H,
-    "x": gates.X,
-    "y": gates.Y,
-    "z": gates.Z,
-    "s": gates.S,
-    "sdg": gates.SDG,
-    "t": gates.T,
-    "tdg": gates.TDG,
-    "cx": gates.CX,
-    "cz": gates.CZ,
-    "swap": gates.SWAP,
-    "ccx": gates.CCX,
-}
 
 
 class QuantumCircuitHandler:
@@ -78,35 +63,29 @@ class QuantumCircuitHandler:
     def apply_gate(self, name: str, qubits: Sequence[int], params: Sequence[float] = ()) -> None:
         """Append gate *name* on *qubits* to the log and the live state."""
         qubits = list(qubits)
-        if params:
-            matrix = gates.gate_matrix(name, list(params))
-            getattr_builder = getattr(self.circuit, name, None)
-            if getattr_builder is None:
-                raise QutesRuntimeError(f"unsupported parametric gate {name!r}")
-            getattr_builder(*params, *qubits)
-        else:
-            matrix = _GATE_MATRICES.get(name)
-            if matrix is None:
-                matrix = gates.gate_matrix(name)
-            builder = getattr(self.circuit, name, None)
-            if builder is None:
-                raise QutesRuntimeError(f"unsupported gate {name!r}")
-            builder(*qubits)
-        self.state.apply_unitary(matrix, qubits)
+        params = list(params)
+        builder = getattr(self.circuit, name, None)
+        # reject unknown names before touching the log, so a failure can
+        # never leave the logged circuit diverged from the live state
+        if builder is None or name not in gates.GATE_REGISTRY:
+            raise QutesRuntimeError(f"unsupported gate {name!r}")
+        builder(*params, *qubits)
+        if not kernels.apply_named_gate(self.state, name, params, qubits):
+            self.state.apply_unitary(gates.gate_matrix(name, params), qubits)
 
     def apply_mcz(self, controls: Sequence[int], target: int) -> None:
         """Multi-controlled Z (used by oracle constructions)."""
         controls = list(controls)
         self.circuit.mcz(controls, target)
-        matrix = gates.controlled(gates.Z, len(controls))
-        self.state.apply_unitary(matrix, [*controls, target])
+        # one phase multiply over the control-satisfied slice instead of a
+        # dense 2^(k+1) x 2^(k+1) unitary
+        self.state.apply_controlled(gates.Z, controls, target)
 
     def apply_mcx(self, controls: Sequence[int], target: int) -> None:
         """Multi-controlled X."""
         controls = list(controls)
         self.circuit.mcx(controls, target)
-        matrix = gates.controlled(gates.X, len(controls))
-        self.state.apply_unitary(matrix, [*controls, target])
+        self.state.apply_controlled(gates.X, controls, target)
 
     def initialize(self, amplitudes: Sequence[complex], qubits: Sequence[int]) -> None:
         """Initialise freshly allocated *qubits* to the given amplitude vector."""
@@ -151,7 +130,8 @@ class QuantumCircuitHandler:
             if not op.is_unitary:
                 raise QutesRuntimeError(f"cannot splice instruction {op.name!r}")
             self.circuit.append(op.copy(), targets)
-            self.state.apply_unitary(op.to_matrix(), targets)
+            if not kernels.apply_instruction(self.state, op, targets):
+                self.state.apply_unitary(op.to_matrix(), targets)
 
     def barrier(self) -> None:
         """Insert a barrier over every allocated qubit."""

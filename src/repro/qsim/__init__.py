@@ -8,6 +8,8 @@ implementation with a self-contained, NumPy-based stack:
 * :mod:`repro.qsim.instruction` -- the instruction set of the circuit IR,
 * :mod:`repro.qsim.circuit` -- the :class:`~repro.qsim.circuit.QuantumCircuit` IR,
 * :mod:`repro.qsim.statevector` -- dense statevector representation,
+* :mod:`repro.qsim.kernels` -- specialized in-place gate kernels + dispatch,
+* :mod:`repro.qsim.fusion` -- gate fusion (adjacent gates -> one unitary),
 * :mod:`repro.qsim.simulator` -- the statevector execution engine,
 * :mod:`repro.qsim.transpiler` -- decomposition and analysis passes,
 * :mod:`repro.qsim.qasm` -- OpenQASM 2.0 export,
@@ -29,8 +31,9 @@ from .instruction import (
 from .circuit import CircuitInstruction, QuantumCircuit
 from .statevector import Statevector
 from .simulator import Result, StatevectorSimulator
-from .transpiler import count_ops, decompose, circuit_depth
+from .transpiler import count_ops, decompose, circuit_depth, transpile
 from .optimizer import optimize, optimization_summary
+from .fusion import fuse_gates, fusion_summary
 from .qasm import to_qasm
 from .noise import BitFlipNoise, DepolarizingNoise
 from .density import (
@@ -64,8 +67,11 @@ __all__ = [
     "count_ops",
     "decompose",
     "circuit_depth",
+    "transpile",
     "optimize",
     "optimization_summary",
+    "fuse_gates",
+    "fusion_summary",
     "to_qasm",
     "BitFlipNoise",
     "DepolarizingNoise",

@@ -112,6 +112,26 @@ class UnitaryGate(Gate):
         Instruction.__init__(self, label, num_qubits, 0, [])
         self._matrix = matrix
 
+    @classmethod
+    def unchecked(cls, matrix: np.ndarray, label: str = "unitary") -> "UnitaryGate":
+        """Build a :class:`UnitaryGate` skipping the unitarity check.
+
+        For callers that construct the matrix as a product of known unitaries
+        (e.g. the gate-fusion pass), where re-verifying ``U^dag U = I`` on
+        every block is measurable overhead.  The shape check is kept: only
+        the unitarity verification is skipped.
+        """
+        matrix = np.asarray(matrix, dtype=complex)
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise CircuitError("matrix must be square")
+        num_qubits = int(round(np.log2(matrix.shape[0])))
+        if 2**num_qubits != matrix.shape[0]:
+            raise CircuitError("matrix dimension must be a power of two")
+        gate = cls.__new__(cls)
+        Instruction.__init__(gate, label, num_qubits, 0, [])
+        gate._matrix = matrix
+        return gate
+
     def to_matrix(self) -> np.ndarray:
         return self._matrix
 

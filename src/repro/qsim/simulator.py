@@ -12,6 +12,13 @@ Execution strategy
   program.
 * Otherwise (mid-circuit measurement followed by more gates) each shot is
   simulated independently with genuine collapse, which is slower but exact.
+
+Gate application is routed through the specialized kernels in
+:mod:`repro.qsim.kernels` (single-qubit, diagonal, controlled, 2-qubit
+shapes) with :meth:`Statevector.apply_unitary` as the general fallback, and
+-- unless a noise model needs per-gate hooks -- circuits are pre-processed by
+the gate-fusion pass (:mod:`repro.qsim.fusion`) so runs of small gates cost a
+single pass over the state.
 """
 
 from __future__ import annotations
@@ -21,13 +28,25 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from . import kernels
 from .circuit import CircuitInstruction, QuantumCircuit
 from .exceptions import SimulationError
+from .fusion import fuse_gates
 from .instruction import Barrier, Initialize, Measure, Reset
 from .noise import NoiseModel
 from .statevector import Statevector
 
-__all__ = ["StatevectorSimulator", "Result"]
+__all__ = ["StatevectorSimulator", "Result", "SIMULATOR_MAX_FUSED_QUBITS"]
+
+#: fusion budget used by the simulator; one notch above the fusion pass's
+#: conservative default of 3 because, at execution scale, fewer passes over
+#: the statevector outweigh the cost of building 16x16 block unitaries (see
+#: benchmarks/bench_kernels.py for the measurement behind this choice)
+SIMULATOR_MAX_FUSED_QUBITS = 4
+
+#: below this many qubits a pass over the statevector is so cheap that the
+#: fusion pass costs more than it saves, so the simulator skips it
+_MIN_FUSION_QUBITS = 10
 
 
 @dataclass
@@ -67,11 +86,25 @@ class Result:
 
 
 class StatevectorSimulator:
-    """Exact dense simulator with optional stochastic noise injection."""
+    """Exact dense simulator with optional stochastic noise injection.
 
-    def __init__(self, seed: Optional[int] = None, noise_model: Optional[NoiseModel] = None):
+    *fusion* (default on) pre-processes circuits with
+    :func:`repro.qsim.fusion.fuse_gates` before execution; it is skipped
+    automatically when a noise model is attached, since noise is injected
+    after every individual gate.
+    """
+
+    def __init__(
+        self,
+        seed: Optional[int] = None,
+        noise_model: Optional[NoiseModel] = None,
+        fusion: bool = True,
+        max_fused_qubits: int = SIMULATOR_MAX_FUSED_QUBITS,
+    ):
         self._rng = np.random.default_rng(seed)
         self.noise_model = noise_model
+        self.fusion = fusion
+        self.max_fused_qubits = max_fused_qubits
 
     # -- public API -------------------------------------------------------------
 
@@ -85,6 +118,7 @@ class StatevectorSimulator:
         """Execute *circuit* for *shots* shots and return a :class:`Result`."""
         if shots <= 0:
             raise SimulationError("shots must be positive")
+        circuit = self._prepare(circuit)
         if self.noise_model is not None or not self._measurements_are_final(circuit):
             return self._run_per_shot(circuit, shots, memory, initial_state)
         return self._run_sampled(circuit, shots, memory, initial_state)
@@ -100,6 +134,7 @@ class StatevectorSimulator:
         Measurements are skipped unless *collapse_measurements* is set, in
         which case they collapse the state using the simulator's RNG.
         """
+        circuit = self._prepare(circuit)
         state = self._initial_state(circuit, initial_state)
         for instr in circuit.data:
             op = instr.operation
@@ -111,6 +146,28 @@ class StatevectorSimulator:
         return state
 
     # -- internals ----------------------------------------------------------------
+
+    def _prepare(self, circuit: QuantumCircuit) -> QuantumCircuit:
+        """Pre-process *circuit* for execution (gate fusion when applicable)."""
+        if self.noise_model is not None:
+            # noise is injected after every individual gate, so a circuit
+            # that was already fused (transpile(level=2), optimize(fuse=True))
+            # would silently receive one error per *block* instead of one per
+            # gate -- refuse instead of corrupting the noise strength
+            for instr in circuit.data:
+                if getattr(instr.operation, "is_fused_block", False):
+                    raise SimulationError(
+                        "cannot run a fused circuit under a noise model: noise "
+                        "is defined per gate; pass the unfused circuit instead"
+                    )
+            return circuit
+        if (
+            not self.fusion
+            or circuit.num_qubits < _MIN_FUSION_QUBITS
+            or len(circuit.data) < 2
+        ):
+            return circuit
+        return fuse_gates(circuit, self.max_fused_qubits)
 
     @staticmethod
     def _measurements_are_final(circuit: QuantumCircuit) -> bool:
@@ -147,7 +204,8 @@ class StatevectorSimulator:
             state.initialize_qubits(op.statevector, targets)
             return
         if op.is_unitary:
-            state.apply_unitary(op.to_matrix(), targets)
+            if not kernels.apply_instruction(state, op, targets):
+                state.apply_unitary(op.to_matrix(), targets)
             if self.noise_model is not None:
                 self.noise_model.apply(state, targets, self._rng)
             return

@@ -15,6 +15,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from . import kernels
 from .exceptions import SimulationError
 
 __all__ = ["Statevector"]
@@ -26,7 +27,10 @@ class Statevector:
     """An ``n``-qubit pure state with in-place evolution primitives."""
 
     def __init__(self, data: Sequence[complex], validate: bool = True):
-        amplitudes = np.asarray(data, dtype=complex).ravel()
+        # own the buffer: evolution is in place (see repro.qsim.kernels), so
+        # sharing memory with the caller's array would mutate it behind their
+        # back
+        amplitudes = np.array(data, dtype=complex).ravel()
         n = int(round(math.log2(amplitudes.size))) if amplitudes.size else 0
         if amplitudes.size == 0 or 2**n != amplitudes.size:
             raise SimulationError("statevector length must be a power of two")
@@ -126,10 +130,13 @@ class Statevector:
         return targets
 
     def apply_unitary(self, matrix: np.ndarray, targets: Sequence[int]) -> None:
-        """Apply *matrix* to *targets* in place.
+        """Apply *matrix* to *targets* in place (the general fallback path).
 
         The matrix index convention matches :mod:`repro.qsim.gates`:
         ``targets[0]`` is the most significant bit of the matrix index.
+        Structured gates (single-qubit, diagonal, controlled) have cheaper
+        entry points below; the dispatcher in :mod:`repro.qsim.kernels`
+        chooses between them automatically.
         """
         targets = self._check_targets(targets)
         k = len(targets)
@@ -138,19 +145,52 @@ class Statevector:
             raise SimulationError(
                 f"matrix shape {matrix.shape} does not match {k} target qubits"
             )
-        n = self.num_qubits
         # Tensor axis j corresponds to qubit n-1-j (axis 0 is the MSB of the
-        # flat index).  Move the target axes to the front, apply the matrix to
-        # the flattened front block, and move the axes back.
-        axes = [n - 1 - t for t in targets]
-        psi = self.data.reshape((2,) * n)
-        psi = np.moveaxis(psi, axes, range(k))
-        tail_shape = psi.shape[k:]
-        psi = psi.reshape(2**k, -1)
-        psi = matrix @ psi
-        psi = psi.reshape((2,) * k + tail_shape)
-        psi = np.moveaxis(psi, range(k), axes)
-        self.data = np.ascontiguousarray(psi.reshape(-1))
+        # flat index); the shared helper moves the target axes to the front,
+        # applies the matrix to the flattened front block, and moves them back.
+        self.data = kernels.dense_apply(self.data, self.num_qubits, matrix, targets)
+
+    # -- fast-path evolution (specialized kernels) ------------------------------
+
+    def apply_single_qubit(self, matrix: np.ndarray, qubit: int) -> None:
+        """Apply a 2x2 unitary to *qubit* via the strided single-qubit kernel."""
+        self._check_targets([qubit])
+        matrix = np.asarray(matrix, dtype=complex)
+        if matrix.shape != (2, 2):
+            raise SimulationError(f"expected a 2x2 matrix, got shape {matrix.shape}")
+        kernels.apply_single_qubit(self.data, self.num_qubits, matrix, qubit)
+
+    def apply_diagonal(self, diag: Sequence[complex], targets: Sequence[int]) -> None:
+        """Apply a diagonal gate given by its diagonal *diag* to *targets*.
+
+        ``diag[v]`` multiplies the amplitudes whose *targets* bits read ``v``
+        with ``targets[0]`` as the most significant bit, matching the matrix
+        index convention of :meth:`apply_unitary`.
+        """
+        targets = self._check_targets(targets)
+        diag = np.asarray(diag, dtype=complex).ravel()
+        if diag.size != 2 ** len(targets):
+            raise SimulationError(
+                f"diagonal of length {diag.size} does not match {len(targets)} target qubits"
+            )
+        kernels.apply_diagonal(self.data, self.num_qubits, diag, targets)
+
+    def apply_controlled(
+        self, matrix: np.ndarray, controls: Sequence[int], target: int
+    ) -> None:
+        """Apply a 2x2 unitary to *target*, conditioned on all *controls* being 1."""
+        controls = list(controls)
+        self._check_targets([*controls, target])
+        matrix = np.asarray(matrix, dtype=complex)
+        if matrix.shape != (2, 2):
+            raise SimulationError(f"expected a 2x2 matrix, got shape {matrix.shape}")
+        kernels.apply_controlled(self.data, self.num_qubits, matrix, controls, target)
+
+    def apply_swap(self, qubit1: int, qubit2: int, controls: Sequence[int] = ()) -> None:
+        """Exchange *qubit1* and *qubit2* (optionally controlled) in place."""
+        controls = list(controls)
+        self._check_targets([*controls, qubit1, qubit2])
+        kernels.apply_swap(self.data, self.num_qubits, qubit1, qubit2, controls)
 
     def initialize_qubits(self, amplitudes: np.ndarray, targets: Sequence[int]) -> None:
         """Set *targets* (currently all |0>) to the given *amplitudes*.

@@ -2,9 +2,11 @@
 
 The reproduction does not need a full transpiler; it needs just enough to
 (a) report hardware-meaningful gate counts and depths for the benchmark
-figures, and (b) lower the handful of composite gates (multi-controlled X/Z,
+figures, (b) lower the handful of composite gates (multi-controlled X/Z,
 SWAP, Toffoli) to a {1-qubit, CX} basis so those metrics are comparable to
-what the paper's Qiskit backend would report.
+what the paper's Qiskit backend would report, and (c) offer
+:func:`transpile`, the one-call pipeline that prepares a circuit for the
+simulator (peephole optimisation, then gate fusion at the highest level).
 """
 
 from __future__ import annotations
@@ -14,10 +16,40 @@ from typing import Dict, Iterable, List, Optional, Sequence
 
 from .circuit import CircuitInstruction, QuantumCircuit
 from .exceptions import CircuitError
+from .fusion import DEFAULT_MAX_FUSED_QUBITS
 from .instruction import Barrier, ControlledGate, Gate, Initialize, Instruction, Measure, Reset
+from .optimizer import optimize
 from .registers import QuantumRegister
 
-__all__ = ["decompose", "count_ops", "circuit_depth", "basis_gate_count", "two_qubit_gate_count"]
+__all__ = [
+    "transpile",
+    "decompose",
+    "count_ops",
+    "circuit_depth",
+    "basis_gate_count",
+    "two_qubit_gate_count",
+]
+
+
+def transpile(
+    circuit: QuantumCircuit,
+    optimization_level: int = 1,
+    max_fused_qubits: int = DEFAULT_MAX_FUSED_QUBITS,
+) -> QuantumCircuit:
+    """Prepare *circuit* for execution at the given *optimization_level*.
+
+    * level 0 -- return an unmodified copy,
+    * level 1 -- peephole optimisation (inverse cancellation, rotation
+      merging, identity removal),
+    * level 2 -- peephole optimisation followed by gate fusion; the result
+      contains anonymous :class:`UnitaryGate` blocks and is intended for the
+      simulator, not for gate-count metrics or QASM export.
+    """
+    if optimization_level <= 0:
+        return circuit.copy()
+    return optimize(
+        circuit, fuse=optimization_level >= 2, max_fused_qubits=max_fused_qubits
+    )
 
 _BASIS = {"id", "x", "y", "z", "h", "s", "sdg", "t", "tdg", "sx", "rx", "ry", "rz", "p", "u2", "u3", "cx"}
 

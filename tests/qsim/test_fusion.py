@@ -1,0 +1,196 @@
+"""Gate fusion: fused circuits must be indistinguishable from the originals.
+
+Covers statevector equivalence (fusion on/off, random circuits), structural
+guarantees (support bound, non-unitary instructions never crossed), and the
+integration points (simulator pre-pass, ``optimize(fuse=True)``,
+``transpile`` levels).
+"""
+
+import numpy as np
+import pytest
+
+from repro.qsim import (
+    QuantumCircuit,
+    Statevector,
+    StatevectorSimulator,
+    fuse_gates,
+    fusion_summary,
+    optimize,
+    transpile,
+)
+from repro.qsim.instruction import Barrier, Measure, Reset, UnitaryGate
+
+from test_kernels import random_circuit, random_state
+
+ATOL = 1e-10
+
+
+@pytest.mark.parametrize("seed", range(5))
+@pytest.mark.parametrize("max_fused_qubits", [1, 2, 3, 4])
+def test_fused_circuit_preserves_statevector(seed, max_fused_qubits):
+    rng = np.random.default_rng(seed)
+    circuit = random_circuit(6, 60, rng)
+    fused = fuse_gates(circuit, max_fused_qubits)
+    initial = random_state(6, rng)
+    reference = StatevectorSimulator(fusion=False).evolve(circuit, initial_state=initial)
+    fused_state = StatevectorSimulator(fusion=False).evolve(fused, initial_state=initial)
+    assert np.allclose(fused_state.data, reference.data, atol=ATOL)
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_simulator_fusion_on_off_agree(seed):
+    # 10 qubits: wide enough that the simulator's fusion pre-pass engages
+    rng = np.random.default_rng(100 + seed)
+    circuit = random_circuit(10, 60, rng)
+    with_fusion = StatevectorSimulator(fusion=True).evolve(circuit)
+    without = StatevectorSimulator(fusion=False).evolve(circuit)
+    assert np.allclose(with_fusion.data, without.data, atol=ATOL)
+
+
+def test_simulator_skips_fusion_below_size_threshold():
+    rng = np.random.default_rng(200)
+    small = random_circuit(4, 20, rng)
+    simulator = StatevectorSimulator()
+    assert simulator._prepare(small) is small  # a state pass is cheaper than fusing
+    wide = random_circuit(10, 20, rng)
+    assert simulator._prepare(wide) is not wide
+
+
+def test_noise_model_rejects_pre_fused_circuits():
+    from repro.qsim import BitFlipNoise
+    from repro.qsim.exceptions import SimulationError
+
+    qc = QuantumCircuit(2, 2)
+    qc.h(0)
+    qc.t(0)
+    qc.cx(0, 1)
+    qc.measure([0, 1], [0, 1])
+    fused = fuse_gates(qc)
+    noisy = StatevectorSimulator(seed=1, noise_model=BitFlipNoise(0.1))
+    with pytest.raises(SimulationError):
+        noisy.run(fused, shots=10)
+    # the unfused original runs fine
+    assert sum(noisy.run(qc, shots=10).counts.values()) == 10
+
+
+def test_fusion_shrinks_gate_count():
+    rng = np.random.default_rng(1)
+    circuit = random_circuit(6, 80, rng)
+    fused = fuse_gates(circuit)
+    assert fused.size() < circuit.size()
+    summary = fusion_summary(circuit)
+    assert summary["before"] == circuit.size()
+    assert summary["after"] == fused.size()
+    assert summary["fused_away"] > 0
+
+
+def test_fusion_respects_support_bound():
+    rng = np.random.default_rng(2)
+    circuit = random_circuit(7, 80, rng)
+    widest_input = max(i.operation.num_qubits for i in circuit.data)
+    for max_fused in (2, 3):
+        fused = fuse_gates(circuit, max_fused)
+        for instr in fused.data:
+            assert instr.operation.num_qubits <= max(max_fused, widest_input)
+
+
+def test_single_gates_pass_through_unfused():
+    qc = QuantumCircuit(3)
+    qc.h(0)
+    qc.ccx(0, 1, 2)
+    fused = fuse_gates(qc, max_fused_qubits=1)
+    assert [i.operation.name for i in fused.data] == ["h", "ccx"]
+
+
+def test_adjacent_single_qubit_gates_fuse_to_one_unitary():
+    qc = QuantumCircuit(1)
+    qc.h(0)
+    qc.t(0)
+    qc.h(0)
+    qc.s(0)
+    fused = fuse_gates(qc)
+    assert fused.size() == 1
+    op = fused.data[0].operation
+    assert isinstance(op, UnitaryGate)
+    assert op.num_qubits == 1
+
+
+def test_interleaved_disjoint_runs_still_fuse():
+    qc = QuantumCircuit(2)
+    for _ in range(3):
+        qc.h(0)
+        qc.h(1)
+    fused = fuse_gates(qc, max_fused_qubits=1)
+    assert fused.size() == 2  # one fused block per qubit
+
+
+def test_fusion_never_crosses_non_unitary_instructions():
+    qc = QuantumCircuit(2, 2)
+    qc.h(0)
+    qc.measure(0, 0)
+    qc.x(0)
+    qc.barrier()
+    qc.x(0)
+    qc.reset(1)
+    qc.h(1)
+    fused = fuse_gates(qc)
+    kinds = [type(i.operation) for i in fused.data]
+    assert kinds.count(Measure) == 1
+    assert kinds.count(Reset) == 1
+    assert kinds.count(Barrier) == 1
+    # the two x gates sit on opposite sides of a barrier: they must survive
+    names = [i.operation.name for i in fused.data]
+    assert names == ["h", "measure", "x", "barrier", "x", "reset", "h"]
+
+
+def test_mid_circuit_measurement_counts_match_with_fusion():
+    qc = QuantumCircuit(2, 2)
+    qc.h(0)
+    qc.measure(0, 0)
+    qc.cx(0, 1)
+    qc.x(0)
+    qc.measure(1, 1)
+    fused_counts = StatevectorSimulator(seed=42, fusion=True).run(qc, shots=300).counts
+    plain_counts = StatevectorSimulator(seed=42, fusion=False).run(qc, shots=300).counts
+    assert fused_counts == plain_counts
+
+
+def test_run_of_diagonal_gates_fuses_to_diagonal_matrix():
+    qc = QuantumCircuit(2)
+    qc.s(0)
+    qc.rz(0.3, 0)
+    qc.cz(0, 1)
+    qc.cp(0.5, 0, 1)
+    qc.t(1)
+    fused = fuse_gates(qc)
+    assert fused.size() == 1
+    matrix = fused.data[0].operation.to_matrix()
+    assert np.allclose(matrix, np.diag(np.diagonal(matrix)), atol=ATOL)
+
+
+def test_optimize_with_fusion_is_equivalent():
+    rng = np.random.default_rng(3)
+    circuit = random_circuit(5, 50, rng)
+    optimized = optimize(circuit, fuse=True)
+    reference = StatevectorSimulator(fusion=False).evolve(circuit)
+    state = StatevectorSimulator(fusion=False).evolve(optimized)
+    assert np.allclose(state.data, reference.data, atol=ATOL)
+    # default stays peephole-only so metrics pipelines are unaffected
+    assert not any(i.operation.name.startswith("fused") for i in optimize(circuit).data)
+
+
+def test_transpile_levels():
+    rng = np.random.default_rng(4)
+    circuit = random_circuit(5, 40, rng)
+    level0 = transpile(circuit, optimization_level=0)
+    assert level0.size() == circuit.size()
+    level2 = transpile(circuit, optimization_level=2)
+    assert level2.size() <= transpile(circuit, optimization_level=1).size()
+    reference = StatevectorSimulator(fusion=False).evolve(circuit)
+    state = StatevectorSimulator(fusion=False).evolve(level2)
+    assert np.allclose(state.data, reference.data, atol=ATOL)
+
+
+def test_fusion_rejects_bad_budget():
+    with pytest.raises(ValueError):
+        fuse_gates(QuantumCircuit(1), max_fused_qubits=0)

@@ -1,0 +1,301 @@
+"""Kernel dispatch layer: specialized kernels must match the generic path.
+
+Property-style equivalence tests: random circuits are applied once through
+the fast-path dispatcher (:mod:`repro.qsim.kernels`) and once through the
+generic ``Statevector.apply_unitary`` fallback, and the resulting
+statevectors must agree to 1e-10.  Individual kernels are also checked
+against explicitly constructed matrices.
+"""
+
+import numpy as np
+import pytest
+
+from repro.qsim import QuantumCircuit, Statevector
+from repro.qsim import gates, kernels
+from repro.qsim.exceptions import SimulationError
+from repro.qsim.instruction import ControlledGate, Gate, UnitaryGate
+
+ATOL = 1e-10
+
+#: gate name -> number of parameters, for every registry gate with <= 3 qubits
+_PARAM_COUNTS = {
+    "rx": 1, "ry": 1, "rz": 1, "p": 1, "u2": 2, "u3": 3,
+    "crx": 1, "cry": 1, "crz": 1, "cp": 1, "rxx": 1, "ryy": 1, "rzz": 1,
+}
+
+
+def random_state(num_qubits: int, rng: np.random.Generator) -> Statevector:
+    data = rng.normal(size=2**num_qubits) + 1j * rng.normal(size=2**num_qubits)
+    return Statevector(data)
+
+
+def random_unitary(dim: int, rng: np.random.Generator) -> np.ndarray:
+    matrix = rng.normal(size=(dim, dim)) + 1j * rng.normal(size=(dim, dim))
+    q, r = np.linalg.qr(matrix)
+    return q * (np.diagonal(r) / np.abs(np.diagonal(r)))
+
+
+def random_circuit(num_qubits: int, num_gates: int, rng: np.random.Generator) -> QuantumCircuit:
+    """A random circuit covering every fast-path gate shape."""
+    qc = QuantumCircuit(num_qubits)
+    names = list(gates.GATE_REGISTRY)
+    while qc.size() < num_gates:
+        roll = rng.random()
+        if roll < 0.80:
+            name = names[rng.integers(len(names))]
+            arity, _ = gates.GATE_REGISTRY[name]
+            params = list(rng.uniform(0, 2 * np.pi, _PARAM_COUNTS.get(name, 0)))
+            targets = [int(q) for q in rng.choice(num_qubits, arity, replace=False)]
+            qc.append(Gate(name, arity, params), targets)
+        elif roll < 0.90:
+            # multi-controlled gates exercise the ControlledGate dispatch
+            num_controls = int(rng.integers(2, 4))
+            base = [Gate("x", 1), Gate("z", 1), Gate("p", 1, [float(rng.uniform(0, np.pi))]),
+                    Gate("h", 1)][rng.integers(4)]
+            targets = [int(q) for q in rng.choice(num_qubits, num_controls + 1, replace=False)]
+            qc.append(ControlledGate(base, num_controls), targets)
+        else:
+            arity = int(rng.integers(1, 3))
+            targets = [int(q) for q in rng.choice(num_qubits, arity, replace=False)]
+            qc.unitary(random_unitary(2**arity, rng), targets)
+    return qc
+
+
+def evolve_generic(circuit: QuantumCircuit, state: Statevector) -> Statevector:
+    out = state.copy()
+    for instr in circuit.data:
+        targets = [circuit.qubit_index(q) for q in instr.qubits]
+        out.apply_unitary(instr.operation.to_matrix(), targets)
+    return out
+
+
+def evolve_kernels(circuit: QuantumCircuit, state: Statevector) -> Statevector:
+    out = state.copy()
+    for instr in circuit.data:
+        targets = [circuit.qubit_index(q) for q in instr.qubits]
+        if not kernels.apply_instruction(out, instr.operation, targets):
+            out.apply_unitary(instr.operation.to_matrix(), targets)
+    return out
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_random_circuit_dispatch_matches_generic_path(seed):
+    rng = np.random.default_rng(seed)
+    num_qubits = 6
+    circuit = random_circuit(num_qubits, 80, rng)
+    state = random_state(num_qubits, rng)
+    reference = evolve_generic(circuit, state)
+    fast = evolve_kernels(circuit, state)
+    assert np.allclose(fast.data, reference.data, atol=ATOL)
+
+
+@pytest.mark.parametrize("name", sorted(n for n, (k, _) in gates.GATE_REGISTRY.items() if k <= 2))
+def test_every_small_registry_gate_takes_the_fast_path(name):
+    rng = np.random.default_rng(11)
+    arity, factory = gates.GATE_REGISTRY[name]
+    params = list(rng.uniform(0.1, 1.5, _PARAM_COUNTS.get(name, 0)))
+    state = random_state(4, rng)
+    reference = state.copy()
+    targets = [2, 0][:arity]
+    handled = kernels.apply_named_gate(state, name, params, targets)
+    assert handled, f"gate {name!r} fell back to the generic path"
+    reference.apply_unitary(factory(*params), targets)
+    assert np.allclose(state.data, reference.data, atol=ATOL)
+
+
+@pytest.mark.parametrize("name,arity", [("ccx", 3), ("cswap", 3)])
+def test_three_qubit_named_gates_take_the_fast_path(name, arity):
+    rng = np.random.default_rng(13)
+    state = random_state(5, rng)
+    reference = state.copy()
+    targets = [4, 1, 3]
+    handled = kernels.apply_named_gate(state, name, [], targets)
+    assert handled
+    reference.apply_unitary(gates.gate_matrix(name), targets)
+    assert np.allclose(state.data, reference.data, atol=ATOL)
+
+
+def test_diagonal_factories_match_full_matrices():
+    rng = np.random.default_rng(3)
+    for name, factory in gates.DIAGONAL_GATES.items():
+        params = list(rng.uniform(0.1, 2.0, _PARAM_COUNTS.get(name, 0)))
+        diag = factory(*params)
+        matrix = gates.gate_matrix(name, params)
+        assert np.allclose(np.diag(diag), matrix, atol=ATOL), name
+
+
+def test_controlled_bases_match_full_matrices():
+    rng = np.random.default_rng(4)
+    for name, (num_controls, base_factory) in gates.CONTROLLED_GATES.items():
+        params = list(rng.uniform(0.1, 2.0, _PARAM_COUNTS.get(name, 0)))
+        rebuilt = gates.controlled(base_factory(*params), num_controls)
+        assert np.allclose(rebuilt, gates.gate_matrix(name, params), atol=ATOL), name
+
+
+def test_apply_single_qubit_matches_generic():
+    rng = np.random.default_rng(5)
+    matrix = random_unitary(2, rng)
+    for qubit in range(4):
+        state = random_state(4, rng)
+        reference = state.copy()
+        state.apply_single_qubit(matrix, qubit)
+        reference.apply_unitary(matrix, [qubit])
+        assert np.allclose(state.data, reference.data, atol=ATOL)
+
+
+def test_apply_two_qubit_matches_generic_in_both_orders():
+    rng = np.random.default_rng(6)
+    matrix = random_unitary(4, rng)
+    for targets in ([0, 3], [3, 0], [1, 2]):
+        state = random_state(4, rng)
+        reference = state.copy()
+        kernels.apply_two_qubit(state.data, 4, matrix, targets[0], targets[1])
+        reference.apply_unitary(matrix, targets)
+        assert np.allclose(state.data, reference.data, atol=ATOL)
+
+
+def test_apply_diagonal_matches_diag_matrix():
+    rng = np.random.default_rng(7)
+    phases = np.exp(1j * rng.uniform(0, 2 * np.pi, 8))
+    for targets in ([0, 2, 4], [4, 2, 0], [3, 1, 2]):
+        state = random_state(5, rng)
+        reference = state.copy()
+        state.apply_diagonal(phases, targets)
+        reference.apply_unitary(np.diag(phases), targets)
+        assert np.allclose(state.data, reference.data, atol=ATOL)
+
+
+def test_apply_controlled_matches_controlled_matrix():
+    rng = np.random.default_rng(8)
+    base = random_unitary(2, rng)
+    for controls, target in (([1], 3), ([3, 0], 2), ([0, 2, 4], 1)):
+        state = random_state(5, rng)
+        reference = state.copy()
+        state.apply_controlled(base, controls, target)
+        reference.apply_unitary(gates.controlled(base, len(controls)), [*controls, target])
+        assert np.allclose(state.data, reference.data, atol=ATOL)
+
+
+def test_apply_swap_matches_swap_matrix():
+    rng = np.random.default_rng(9)
+    state = random_state(4, rng)
+    reference = state.copy()
+    state.apply_swap(0, 3)
+    reference.apply_unitary(gates.SWAP, [0, 3])
+    assert np.allclose(state.data, reference.data, atol=ATOL)
+
+
+def test_multi_controlled_instructions_dispatch():
+    rng = np.random.default_rng(10)
+    cases = [
+        (ControlledGate(Gate("x", 1), 3), [0, 2, 4, 1]),
+        (ControlledGate(Gate("z", 1), 3), [4, 3, 1, 0]),
+        (ControlledGate(Gate("p", 1, [0.7]), 2), [1, 3, 2]),
+        (ControlledGate(Gate("h", 1), 2), [2, 0, 4]),
+        (ControlledGate(Gate("swap", 2), 1), [0, 2, 3]),
+    ]
+    for operation, targets in cases:
+        state = random_state(5, rng)
+        reference = state.copy()
+        assert kernels.apply_instruction(state, operation, targets), operation.name
+        reference.apply_unitary(operation.to_matrix(), targets)
+        assert np.allclose(state.data, reference.data, atol=ATOL), operation.name
+
+
+def test_diagonal_unitary_gate_detected_and_dispatched():
+    rng = np.random.default_rng(12)
+    phases = np.exp(1j * rng.uniform(0, 2 * np.pi, 4))
+    operation = UnitaryGate(np.diag(phases), label="diagtest")
+    state = random_state(4, rng)
+    reference = state.copy()
+    assert kernels.apply_instruction(state, operation, [1, 3])
+    reference.apply_unitary(operation.to_matrix(), [1, 3])
+    assert np.allclose(state.data, reference.data, atol=ATOL)
+
+
+def test_controlled_unitary_label_collision_uses_matrix_not_name():
+    # a UnitaryGate's label is free-form: one that collides with a registry
+    # gate name ("s", "swap") must not hijack the name-keyed fast paths
+    rng = np.random.default_rng(15)
+    for label, base_dim, targets in (("s", 2, [0, 2]), ("swap", 4, [1, 0, 3])):
+        base = UnitaryGate(random_unitary(base_dim, rng), label=label)
+        operation = ControlledGate(base, 1)
+        state = random_state(4, rng)
+        reference = state.copy()
+        if not kernels.apply_instruction(state, operation, targets):
+            state.apply_unitary(operation.to_matrix(), targets)
+        reference.apply_unitary(operation.to_matrix(), targets)
+        assert np.allclose(state.data, reference.data, atol=ATOL), label
+
+
+def test_wide_operations_fall_back_to_generic():
+    rng = np.random.default_rng(14)
+    state = random_state(4, rng)
+    wide = UnitaryGate(random_unitary(8, rng), label="wide")
+    assert not kernels.apply_instruction(state, wide, [0, 1, 2])
+
+
+def test_malformed_gate_arity_falls_back_and_raises():
+    # a Gate whose declared qubit count contradicts its registry arity must
+    # not be silently mangled by a name-keyed kernel: the dispatcher bows out
+    # and the generic path raises, exactly as before the kernel layer existed
+    from repro.qsim import QuantumCircuit, StatevectorSimulator
+
+    state = random_state(3, np.random.default_rng(16))
+    assert not kernels.apply_named_gate(state, "z", [], [0, 1])
+    assert not kernels.apply_named_gate(state, "cx", [], [0, 1, 2])
+    assert not kernels.apply_instruction(state, Gate("z", 2), [0, 1])
+    qc = QuantumCircuit(2)
+    qc.append(Gate("z", 2), [0, 1])
+    with pytest.raises(SimulationError):
+        StatevectorSimulator().evolve(qc)
+
+
+def test_kernels_are_thread_safe_across_statevectors():
+    import threading
+
+    rng = np.random.default_rng(17)
+    circuits = [random_circuit(8, 40, np.random.default_rng(30 + i)) for i in range(4)]
+    initial = [random_state(8, rng) for _ in circuits]
+    expected = [evolve_generic(c, s) for c, s in zip(circuits, initial)]
+    results = [None] * len(circuits)
+
+    def work(index):
+        out = initial[index].copy()
+        for _ in range(5):  # repeat to widen the interleaving window
+            out = evolve_kernels(circuits[index], initial[index])
+        results[index] = out
+
+    threads = [threading.Thread(target=work, args=(i,)) for i in range(len(circuits))]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    for got, want in zip(results, expected):
+        assert np.allclose(got.data, want.data, atol=ATOL)
+
+
+def test_statevector_owns_its_buffer():
+    # in-place evolution must never leak into the caller's array
+    buf = np.zeros(8, dtype=complex)
+    buf[0] = 1.0
+    original = buf.copy()
+    state = Statevector(buf)
+    assert not np.shares_memory(state.data, buf)
+    state.apply_single_qubit(gates.H, 0)
+    state.apply_diagonal(np.array([1, 1j]), [1])
+    assert np.array_equal(buf, original)
+
+
+def test_fast_path_validation_errors():
+    state = Statevector.zero_state(3)
+    with pytest.raises(SimulationError):
+        state.apply_single_qubit(np.eye(4), 0)
+    with pytest.raises(SimulationError):
+        state.apply_single_qubit(np.eye(2), 5)
+    with pytest.raises(SimulationError):
+        state.apply_diagonal(np.ones(3), [0, 1])
+    with pytest.raises(SimulationError):
+        state.apply_controlled(np.eye(2), [0], 0)
+    with pytest.raises(SimulationError):
+        state.apply_swap(1, 1)
