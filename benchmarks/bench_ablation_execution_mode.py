@@ -42,6 +42,24 @@ def test_replay_matches_live_state():
     assert np.allclose(np.abs(live.data) ** 2, np.abs(replayed.data) ** 2, atol=1e-9)
 
 
+def test_replay_counts_through_backend_matches_live_sampling():
+    # the handler's backend-replay path (what `--backend NAME` uses for
+    # sample()) must agree with live-state statistics on measurement-free
+    # programs
+    from repro.qsim.backends import get_backend
+
+    interpreter = _run_interpreter()
+    handler = interpreter.handler
+    qubits = list(range(4))  # register `a`, in uniform superposition
+    live = handler.sample(qubits, shots=4000)
+    replayed = handler.replay_counts(
+        qubits, shots=4000, backend=get_backend("statevector", seed=0)
+    )
+    assert set(replayed) == set(live) == set(range(16))
+    for value in replayed:
+        assert abs(replayed[value] - live[value]) < 300  # same uniform distribution
+
+
 def test_ablation_execution_mode(report, benchmark):
     interpreter = _run_interpreter()
     circuit = interpreter.handler.circuit

@@ -11,10 +11,10 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.qsim.backends import get_backend
 from repro.qsim.circuit import QuantumCircuit
-from repro.qsim.density import DensityMatrixSimulator, depolarizing_kraus
+from repro.qsim.density import depolarizing_kraus
 from repro.qsim.noise import DepolarizingNoise
-from repro.qsim.simulator import StatevectorSimulator
 
 NOISE_LEVELS = [0.0, 0.01, 0.05, 0.1, 0.2]
 
@@ -26,18 +26,24 @@ def _bell_circuit() -> QuantumCircuit:
     return qc
 
 
+def _correlation(counts: dict, shots: int) -> float:
+    return (counts.get("00", 0) + counts.get("11", 0)) / shots
+
+
 def _correlation_exact(p: float) -> float:
-    sim = DensityMatrixSimulator(seed=0, gate_noise={1: depolarizing_kraus(p), 2: depolarizing_kraus(p)})
-    counts = sim.run_counts(_bell_circuit(), shots=20000)
-    total = sum(counts.values())
-    return (counts.get(0, 0) + counts.get(3, 0)) / total
+    # exact channel and trajectory model run through the same unified
+    # backend API -- only the registry name differs
+    backend = get_backend(
+        "density_matrix", seed=0, gate_noise={1: depolarizing_kraus(p), 2: depolarizing_kraus(p)}
+    )
+    counts = backend.run(_bell_circuit(), shots=20000).result().get_counts()
+    return _correlation(counts, sum(counts.values()))
 
 
 def _correlation_trajectory(p: float) -> float:
-    sim = StatevectorSimulator(seed=0, noise_model=DepolarizingNoise(p))
-    counts = sim.run(_bell_circuit(), shots=4000).counts
-    total = sum(counts.values())
-    return (counts.get("00", 0) + counts.get("11", 0)) / total
+    backend = get_backend("statevector", seed=0, noise_model=DepolarizingNoise(p))
+    counts = backend.run(_bell_circuit(), shots=4000).result().get_counts()
+    return _correlation(counts, sum(counts.values()))
 
 
 @pytest.mark.parametrize("p", NOISE_LEVELS)

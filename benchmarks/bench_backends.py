@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Batch-throughput benchmark for the unified backend execution API.
+
+Submits one batch of independent random circuits to
+``get_backend("statevector")`` and times the same workload under serial
+dispatch and under process-pool dispatch with 1, 2 and 4 workers (the
+executor layer added by the Backend/Job/Result API).  Before any timing,
+every parallel run's counts are checked to be **identical** to the serial
+run's -- the dispatch layer guarantees bit-equal results for seeded batches
+regardless of worker count.
+
+This is the workload shape of the repo's multi-circuit drivers (Simon
+query batches, Dürr--Høyer rounds, the ablation sweeps): many mid-size
+circuits, one result each.  Speedup over serial dispatch scales with
+available cores; on a single-core container the parallel rows simply show
+the pool overhead, so the benchmark only *asserts* equivalence, not speedup
+(CI smoke-runs it on small sizes).
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_backends.py
+    PYTHONPATH=src python benchmarks/bench_backends.py --circuits 6 --qubits 8 --gates 60 --shots 128 --repeats 1
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import time
+from typing import List
+
+import numpy as np
+
+from repro.qsim import QuantumCircuit
+from repro.qsim.backends import get_backend
+from repro.qsim.instruction import Gate
+
+#: 1q/2q gates the multi-circuit workloads actually emit
+GATE_POOL = [
+    ("h", 1, 0), ("x", 1, 0), ("z", 1, 0), ("s", 1, 0), ("t", 1, 0),
+    ("rx", 1, 1), ("ry", 1, 1), ("rz", 1, 1),
+    ("cx", 2, 0), ("cz", 2, 0), ("swap", 2, 0), ("cp", 2, 1),
+]
+
+
+def random_measured_circuit(num_qubits: int, num_gates: int, seed: int) -> QuantumCircuit:
+    rng = np.random.default_rng(seed)
+    qc = QuantumCircuit(num_qubits, num_qubits)
+    qc.name = f"rand_{seed}"
+    for _ in range(num_gates):
+        name, arity, num_params = GATE_POOL[rng.integers(len(GATE_POOL))]
+        params = list(rng.uniform(0, 2 * np.pi, num_params))
+        targets = [int(q) for q in rng.choice(num_qubits, arity, replace=False)]
+        qc.append(Gate(name, arity, params), targets)
+    qc.measure(list(range(num_qubits)), list(range(num_qubits)))
+    return qc
+
+
+def run_batch(backend, circuits, shots: int, seed: int, workers, executor: str):
+    job = backend.run(circuits, shots=shots, seed=seed, workers=workers, executor=executor)
+    return job.result()
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--circuits", type=int, default=8, help="batch size")
+    parser.add_argument("--qubits", type=int, default=12)
+    parser.add_argument("--gates", type=int, default=150)
+    parser.add_argument("--shots", type=int, default=256)
+    parser.add_argument("--workers", type=str, default="1,2,4",
+                        help="comma-separated worker counts to benchmark")
+    parser.add_argument("--executor", choices=("process", "thread"), default="process")
+    parser.add_argument("--repeats", type=int, default=2, help="timing repeats (best is kept)")
+    parser.add_argument("--seed", type=int, default=2026)
+    args = parser.parse_args(argv)
+
+    worker_counts = [int(w) for w in args.workers.split(",") if w.strip()]
+    circuits = [
+        random_measured_circuit(args.qubits, args.gates, args.seed + i)
+        for i in range(args.circuits)
+    ]
+    backend = get_backend("statevector")
+
+    # correctness gate: every dispatch mode must produce identical counts
+    reference = run_batch(backend, circuits, args.shots, args.seed, None, args.executor)
+    for workers in worker_counts:
+        candidate = run_batch(backend, circuits, args.shots, args.seed, workers, args.executor)
+        for i, (ref, got) in enumerate(zip(reference, candidate)):
+            if ref.counts != got.counts:
+                print(f"FAIL: workers={workers} diverges from serial on circuit {i}")
+                return 1
+
+    rows = []
+    for workers in [None] + worker_counts:
+        best = float("inf")
+        for _ in range(args.repeats):
+            start = time.perf_counter()
+            run_batch(backend, circuits, args.shots, args.seed, workers, args.executor)
+            best = min(best, time.perf_counter() - start)
+        rows.append((workers, best))
+
+    serial_time = rows[0][1]
+    print(f"batch: {args.circuits} circuits x {args.qubits} qubits x {args.gates} gates, "
+          f"{args.shots} shots, executor={args.executor}, "
+          f"cores={os.cpu_count()}, best of {args.repeats}")
+    print(f"{'dispatch':<12} {'time (ms)':>10} {'speedup':>9} {'circuits/s':>11}")
+    for workers, elapsed in rows:
+        label = "serial" if workers is None else f"{workers} workers"
+        print(f"{label:<12} {elapsed * 1000.0:>10.1f} {serial_time / elapsed:>8.2f}x "
+              f"{args.circuits / elapsed:>11.1f}")
+    print("equivalence: all parallel dispatch modes match serial counts exactly")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -66,13 +66,20 @@ def run_bernstein_vazirani(
     secret: int,
     simulator: Optional[StatevectorSimulator] = None,
     shots: int = 128,
+    backend=None,
 ) -> BernsteinVaziraniResult:
-    """Recover *secret* and report the query-count comparison."""
-    if simulator is None:
-        simulator = StatevectorSimulator(seed=21)
+    """Recover *secret* and report the query-count comparison.
+
+    Execution goes through the unified backend API (``backend=`` accepts a
+    :class:`~repro.qsim.backends.Backend` or registry name); the legacy
+    ``simulator=`` parameter is still honoured.
+    """
+    from ..qsim.backends import resolve_backend
+
+    backend = resolve_backend(backend, simulator, default_seed=21)
     circuit = bernstein_vazirani_circuit(num_inputs, secret)
-    result = simulator.run(circuit, shots=shots)
-    recovered = int(result.most_frequent(), 2)
+    result = backend.run(circuit, shots=shots).result()
+    recovered = int(result[0].most_frequent(), 2)
     return BernsteinVaziraniResult(
         secret=secret,
         recovered=recovered,

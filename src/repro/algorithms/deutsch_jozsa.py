@@ -132,13 +132,20 @@ def run_deutsch_jozsa(
     oracle: QuantumCircuit,
     simulator: Optional[StatevectorSimulator] = None,
     shots: int = 256,
+    backend=None,
 ) -> DeutschJozsaResult:
-    """Run the algorithm and classify the oracle's function."""
-    if simulator is None:
-        simulator = StatevectorSimulator(seed=7)
+    """Run the algorithm and classify the oracle's function.
+
+    Execution goes through the unified backend API (``backend=`` accepts a
+    :class:`~repro.qsim.backends.Backend` or registry name); the legacy
+    ``simulator=`` parameter is still honoured.
+    """
+    from ..qsim.backends import resolve_backend
+
+    backend = resolve_backend(backend, simulator, default_seed=7)
     circuit = deutsch_jozsa_circuit(oracle)
-    result = simulator.run(circuit, shots=shots)
-    value = int(result.most_frequent(), 2)
+    result = backend.run(circuit, shots=shots).result()
+    value = int(result[0].most_frequent(), 2)
     num_inputs = oracle.num_qubits - 1
     return DeutschJozsaResult(
         is_constant=(value == 0),

@@ -19,7 +19,6 @@ from ..qsim import gates
 from ..qsim.circuit import QuantumCircuit
 from ..qsim.exceptions import CircuitError
 from ..qsim.registers import QuantumRegister
-from ..qsim.simulator import StatevectorSimulator
 from ..qsim.statevector import Statevector
 
 __all__ = [

@@ -14,6 +14,7 @@ import math
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence
 
+from ..qsim.backends import Backend, resolve_backend
 from ..qsim.circuit import QuantumCircuit
 from ..qsim.exceptions import CircuitError, SimulationError
 from ..qsim.registers import QuantumRegister
@@ -137,16 +138,21 @@ def grover_search(
     shots: int = 1024,
     iterations: Optional[int] = None,
     simulator: Optional[StatevectorSimulator] = None,
+    backend: Optional[Backend] = None,
 ) -> GroverResult:
-    """Run Grover search for *marked_values* and summarise the outcome."""
+    """Run Grover search for *marked_values* and summarise the outcome.
+
+    Execution goes through the unified backend API: pass ``backend=`` (a
+    :class:`~repro.qsim.backends.Backend` or registry name) to pick an
+    engine; the legacy ``simulator=`` parameter is still honoured.
+    """
     marked = sorted(set(marked_values))
-    if simulator is None:
-        simulator = StatevectorSimulator(seed=1234)
+    backend = resolve_backend(backend, simulator, default_seed=1234)
     if iterations is None:
         iterations = optimal_iterations(num_qubits, len(marked))
     circuit = grover_circuit(num_qubits, marked, iterations=iterations)
-    result = simulator.run(circuit, shots=shots)
-    counts = result.int_counts()
+    result = backend.run(circuit, shots=shots).result()
+    counts = result[0].int_counts()
     best = max(counts.items(), key=lambda kv: kv[1])[0]
     marked_shots = sum(count for value, count in counts.items() if value in marked)
     return GroverResult(
@@ -176,6 +182,7 @@ def grover_substring_search(
     pattern: str,
     shots: int = 1024,
     simulator: Optional[StatevectorSimulator] = None,
+    backend: Optional[Backend] = None,
 ) -> GroverResult:
     """Search *pattern* inside the bitstring *text* with Grover over positions.
 
@@ -205,7 +212,7 @@ def grover_substring_search(
             counts={},
         )
     result = grover_search(
-        positions, num_qubits, shots=shots, simulator=simulator
+        positions, num_qubits, shots=shots, simulator=simulator, backend=backend
     )
     result.found = result.found and result.value in positions
     return result

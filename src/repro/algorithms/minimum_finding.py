@@ -22,8 +22,8 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from ..qsim.backends import Backend, resolve_backend
 from ..qsim.exceptions import CircuitError
-from ..qsim.simulator import StatevectorSimulator
 from .grover import grover_circuit, optimal_iterations
 
 __all__ = ["MinimumFindingResult", "find_minimum", "find_maximum"]
@@ -44,14 +44,20 @@ def find_minimum(
     values: Sequence[int],
     seed: Optional[int] = 97,
     max_rounds: Optional[int] = None,
+    backend: Optional[Backend] = None,
 ) -> MinimumFindingResult:
-    """Find the minimum of *values* with the Dürr--Høyer algorithm."""
+    """Find the minimum of *values* with the Dürr--Høyer algorithm.
+
+    The Grover rounds execute through the unified backend API; pass
+    ``backend=`` (a :class:`~repro.qsim.backends.Backend` or registry name)
+    to pick an engine other than the default seeded statevector backend.
+    """
     values = list(values)
     if not values:
         raise CircuitError("cannot take the minimum of an empty set")
     n = len(values)
     num_qubits = max(1, math.ceil(math.log2(n)))
-    simulator = StatevectorSimulator(seed=seed)
+    backend = resolve_backend(backend, None, default_seed=seed)
     rng = np.random.default_rng(seed)
 
     if max_rounds is None:
@@ -72,7 +78,7 @@ def find_minimum(
             break
         iterations = optimal_iterations(num_qubits, len(marked))
         circuit = grover_circuit(num_qubits, marked, iterations=iterations)
-        outcome = simulator.run(circuit, shots=1)
+        outcome = backend.run(circuit, shots=1).result()[0]
         oracle_queries += iterations
         candidate = int(outcome.most_frequent(), 2)
         if candidate < n and values[candidate] < threshold:
@@ -93,13 +99,14 @@ def find_maximum(
     values: Sequence[int],
     seed: Optional[int] = 97,
     max_rounds: Optional[int] = None,
+    backend: Optional[Backend] = None,
 ) -> MinimumFindingResult:
     """Find the maximum of *values* (minimum finding on the negated list)."""
     values = list(values)
     if not values:
         raise CircuitError("cannot take the maximum of an empty set")
     negated = [-v for v in values]
-    result = find_minimum(negated, seed=seed, max_rounds=max_rounds)
+    result = find_minimum(negated, seed=seed, max_rounds=max_rounds, backend=backend)
     return MinimumFindingResult(
         value=-result.value,
         index=result.index,

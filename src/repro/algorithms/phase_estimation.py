@@ -70,11 +70,18 @@ def estimate_phase(
     num_counting_qubits: int = 5,
     shots: int = 512,
     simulator: Optional[StatevectorSimulator] = None,
+    backend=None,
 ) -> float:
-    """Estimate the eigenphase ``theta`` (in turns, i.e. within [0, 1))."""
-    if simulator is None:
-        simulator = StatevectorSimulator(seed=5)
+    """Estimate the eigenphase ``theta`` (in turns, i.e. within [0, 1)).
+
+    Execution goes through the unified backend API (``backend=`` accepts a
+    :class:`~repro.qsim.backends.Backend` or registry name); the legacy
+    ``simulator=`` parameter is still honoured.
+    """
+    from ..qsim.backends import resolve_backend
+
+    backend = resolve_backend(backend, simulator, default_seed=5)
     circuit = phase_estimation_circuit(unitary, num_counting_qubits, eigenstate)
-    result = simulator.run(circuit, shots=shots)
-    value = int(result.most_frequent(), 2)
+    result = backend.run(circuit, shots=shots).result()
+    value = int(result[0].most_frequent(), 2)
     return value / 2**num_counting_qubits

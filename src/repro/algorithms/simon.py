@@ -14,6 +14,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from ..qsim.backends import Backend, resolve_backend
 from ..qsim.circuit import QuantumCircuit
 from ..qsim.exceptions import CircuitError
 from ..qsim.registers import ClassicalRegister, QuantumRegister
@@ -99,23 +100,42 @@ def run_simon(
     secret: int,
     simulator: Optional[StatevectorSimulator] = None,
     max_queries: Optional[int] = None,
+    backend: Optional[Backend] = None,
+    batch_size: int = 1,
+    workers: Optional[int] = None,
 ) -> SimonResult:
-    """Run Simon's algorithm until the secret is determined (or queries run out)."""
-    if simulator is None:
-        simulator = StatevectorSimulator(seed=33)
+    """Run Simon's algorithm until the secret is determined (or queries run out).
+
+    Queries go through the unified backend API.  With ``batch_size > 1``
+    each round submits that many oracle circuits as one batch -- and, with
+    ``workers``, dispatches them across a worker pool -- trading a few
+    potentially redundant queries for multi-core throughput.  The default
+    (``batch_size=1``) preserves the classic one-query-at-a-time loop.
+    """
+    backend = resolve_backend(backend, simulator, default_seed=33)
     if max_queries is None:
         max_queries = 10 * num_inputs
+    if batch_size < 1:
+        raise CircuitError("batch_size must be at least 1")
     circuit = simon_circuit(num_inputs, secret)
     equations: List[int] = []
     queries = 0
     recovered: Optional[int] = None
     while queries < max_queries:
-        outcome = simulator.run(circuit, shots=1)
-        value = int(outcome.most_frequent(), 2)
-        queries += 1
-        if value:
-            equations.append(value)
-        recovered = solve_gf2(equations, num_inputs)
+        batch = min(batch_size, max_queries - queries)
+        # thread executor: a fresh process pool per round would cost more in
+        # startup than these shots=1 circuits cost to simulate
+        result = backend.run(
+            [circuit] * batch, shots=1, workers=workers, executor="thread"
+        ).result()
+        for experiment in result:
+            value = int(experiment.most_frequent(), 2)
+            queries += 1
+            if value:
+                equations.append(value)
+            recovered = solve_gf2(equations, num_inputs)
+            if recovered is not None:
+                break
         if recovered is not None:
             break
     return SimonResult(

@@ -12,6 +12,7 @@ import sys
 from typing import List, Optional
 
 from .lang import QutesError, run_file
+from .qsim.exceptions import BackendError
 from .qsim.qasm import to_qasm
 
 __all__ = ["main", "build_arg_parser"]
@@ -21,11 +22,23 @@ def build_arg_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed separately for testing)."""
     parser = argparse.ArgumentParser(
         prog="qutes",
-        description="Run a Qutes program on the bundled statevector simulator.",
+        description="Run a Qutes program on the bundled simulation backends.",
     )
-    parser.add_argument("program", help="path to the .qut source file")
+    parser.add_argument("program", nargs="?", default=None, help="path to the .qut source file")
     parser.add_argument("--seed", type=int, default=None, help="RNG seed for measurements")
     parser.add_argument("--shots", type=int, default=1024, help="shots used by sample()")
+    parser.add_argument(
+        "--backend",
+        default=None,
+        metavar="NAME",
+        help="execution backend for the statistics builtins (sample, min_of, "
+        "max_of); see --list-backends",
+    )
+    parser.add_argument(
+        "--list-backends",
+        action="store_true",
+        help="print the registered execution backends and exit",
+    )
     parser.add_argument("--show-circuit", action="store_true", help="print the logged circuit")
     parser.add_argument("--qasm", action="store_true", help="print the OpenQASM 2.0 export")
     parser.add_argument("--show-variables", action="store_true", help="print final global variables")
@@ -35,7 +48,16 @@ def build_arg_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point used by the ``qutes`` console script."""
-    args = build_arg_parser().parse_args(argv)
+    parser = build_arg_parser()
+    args = parser.parse_args(argv)
+    if args.list_backends:
+        from .qsim.backends import list_backends
+
+        for name in list_backends():
+            print(name)
+        return 0
+    if args.program is None:
+        parser.error("the program argument is required (or use --list-backends)")
     if args.ast:
         from .lang.ast_printer import dump_ast
         from .lang.parser import parse
@@ -51,11 +73,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"error: {exc}", file=sys.stderr)
             return 1
     try:
-        result = run_file(args.program, shots=args.shots, seed=args.seed)
+        result = run_file(args.program, shots=args.shots, seed=args.seed, backend=args.backend)
     except FileNotFoundError:
         print(f"error: no such file: {args.program}", file=sys.stderr)
         return 2
-    except QutesError as exc:
+    except (QutesError, BackendError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
 

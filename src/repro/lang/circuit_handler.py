@@ -19,6 +19,7 @@ from typing import Dict, Iterable, List, Optional, Sequence
 import numpy as np
 
 from ..qsim import gates, kernels
+from ..qsim.backends import Backend
 from ..qsim.circuit import QuantumCircuit
 from ..qsim.instruction import Initialize, Measure
 from ..qsim.registers import ClassicalRegister, QuantumRegister
@@ -29,12 +30,22 @@ __all__ = ["QuantumCircuitHandler"]
 
 
 class QuantumCircuitHandler:
-    """Owns the program's quantum registers, circuit log and live state."""
+    """Owns the program's quantum registers, circuit log and live state.
 
-    def __init__(self, seed: Optional[int] = None):
+    An optional execution *backend* (see :mod:`repro.qsim.backends`) reroutes
+    the non-collapsing statistics path: :meth:`sample` then replays the
+    logged circuit through the backend instead of peeking at the live
+    statevector, which is what makes ``--backend density_matrix`` runs
+    produce exact-channel sampling statistics.  Gate application and genuine
+    collapse (:meth:`measure`) always stay on the live state -- that is the
+    execution model of the language.
+    """
+
+    def __init__(self, seed: Optional[int] = None, backend: Optional[Backend] = None):
         self.circuit = QuantumCircuit(name="qutes_program")
         self.state = Statevector.zero_state(0)
         self.rng = np.random.default_rng(seed)
+        self.backend = backend
         self._register_counter = 0
         self._measure_counter = 0
         self.measurements: List[Dict[str, object]] = []
@@ -159,8 +170,55 @@ class QuantumCircuitHandler:
         return outcome
 
     def sample(self, qubits: Sequence[int], shots: int = 1024) -> Dict[int, int]:
-        """Sample measurement statistics without collapsing the live state."""
+        """Sample measurement statistics without collapsing the live state.
+
+        With an execution backend attached (and no collapse logged yet) the
+        statistics come from replaying the logged circuit through that
+        backend; otherwise they are drawn from the live statevector.  Once a
+        measurement has collapsed the live state, a replay would no longer be
+        conditioned on the realized outcome, so the live state is always used
+        from that point on.
+        """
+        if self.backend is not None and not self.circuit.has_measurements():
+            return self.replay_counts(qubits, shots=shots)
         return self.state.sample_counts(list(qubits), shots=shots, rng=self.rng)
+
+    def replay_counts(
+        self,
+        qubits: Sequence[int],
+        shots: int = 1024,
+        backend: Optional[Backend] = None,
+        seed: Optional[int] = None,
+    ) -> Dict[int, int]:
+        """Outcome histogram for *qubits* by replaying the logged circuit.
+
+        The logged circuit is copied, a fresh classical register measuring
+        *qubits* is appended, and the copy is executed through *backend* (or
+        the handler's attached one).  Keys are little-endian integers over
+        *qubits*, matching :meth:`sample`.
+        """
+        backend = backend if backend is not None else self.backend
+        if backend is None:
+            raise QutesRuntimeError("replay_counts needs an execution backend")
+        qubits = list(qubits)
+        if not qubits:
+            raise QutesRuntimeError("cannot sample an empty register")
+        replay = self.circuit.copy()
+        self._measure_counter += 1
+        creg = ClassicalRegister(len(qubits), f"replay_{self._measure_counter}")
+        replay.add_register(creg)
+        replay.measure(qubits, list(creg))
+        num_clbits = replay.num_clbits
+        base = num_clbits - len(qubits)  # the fresh creg holds the top clbits
+        experiment = backend.run(replay, shots=shots, seed=seed).result()[0]
+        counts: Dict[int, int] = {}
+        for key, count in experiment.counts.items():
+            value = 0
+            for position in range(len(qubits)):
+                if key[num_clbits - 1 - (base + position)] == "1":
+                    value |= 1 << position
+            counts[value] = counts.get(value, 0) + count
+        return counts
 
     def probabilities(self, qubits: Sequence[int]) -> np.ndarray:
         """Outcome probabilities for *qubits* under the live state."""

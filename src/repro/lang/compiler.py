@@ -35,9 +35,17 @@ class CompiledProgram:
     source: str
     ast: ast.Program
 
-    def run(self, shots: int = 1024, seed: Optional[int] = None) -> "QutesExecutionResult":
-        """Execute the compiled program."""
-        return _execute(self.source, self.ast, shots=shots, seed=seed)
+    def run(
+        self, shots: int = 1024, seed: Optional[int] = None, backend=None
+    ) -> "QutesExecutionResult":
+        """Execute the compiled program.
+
+        *backend* selects the execution backend used for the program's
+        statistics paths (``sample``, ``min_of``/``max_of``); it accepts a
+        :class:`repro.qsim.backends.Backend` instance or a registry name
+        such as ``"density_matrix"``.
+        """
+        return _execute(self.source, self.ast, shots=shots, seed=seed, backend=backend)
 
 
 @dataclass
@@ -78,8 +86,14 @@ def compile_source(source: str) -> CompiledProgram:
     return CompiledProgram(source=source, ast=parse(source))
 
 
-def _execute(source: str, tree: ast.Program, shots: int, seed: Optional[int]) -> QutesExecutionResult:
-    interpreter = Interpreter(shots=shots, seed=seed)
+def _execute(
+    source: str,
+    tree: ast.Program,
+    shots: int,
+    seed: Optional[int],
+    backend=None,
+) -> QutesExecutionResult:
+    interpreter = Interpreter(shots=shots, seed=seed, backend=backend)
     interpreter.run(tree)
     variables: Dict[str, Any] = {}
     for name, symbol in interpreter.symbols.global_scope.symbols.items():
@@ -96,12 +110,20 @@ def _execute(source: str, tree: ast.Program, shots: int, seed: Optional[int]) ->
     )
 
 
-def run_source(source: str, shots: int = 1024, seed: Optional[int] = None) -> QutesExecutionResult:
-    """Parse and execute Qutes *source* text."""
-    return _execute(source, parse(source), shots=shots, seed=seed)
+def run_source(
+    source: str, shots: int = 1024, seed: Optional[int] = None, backend=None
+) -> QutesExecutionResult:
+    """Parse and execute Qutes *source* text.
+
+    *backend* (a :class:`repro.qsim.backends.Backend` or registry name)
+    selects the engine behind the program's statistics builtins.
+    """
+    return _execute(source, parse(source), shots=shots, seed=seed, backend=backend)
 
 
-def run_file(path: str, shots: int = 1024, seed: Optional[int] = None) -> QutesExecutionResult:
+def run_file(
+    path: str, shots: int = 1024, seed: Optional[int] = None, backend=None
+) -> QutesExecutionResult:
     """Parse and execute the Qutes program stored at *path*."""
     with open(path, "r", encoding="utf-8") as handle:
-        return run_source(handle.read(), shots=shots, seed=seed)
+        return run_source(handle.read(), shots=shots, seed=seed, backend=backend)

@@ -70,8 +70,18 @@ class Interpreter:
         handler: Optional[QuantumCircuitHandler] = None,
         shots: int = 1024,
         seed: Optional[int] = None,
+        backend=None,
     ):
-        self.handler = handler or QuantumCircuitHandler(seed=seed)
+        # the execution backend (repro.qsim.backends) drives the program's
+        # batch-style statistics: sample(), min_of()/max_of() quantum search
+        # rounds.  A registry name is resolved here, seeded like the handler
+        # so `--backend NAME --seed S` runs stay deterministic end to end.
+        if isinstance(backend, str):
+            from ..qsim.backends import get_backend
+
+            backend = get_backend(backend, seed=seed)
+        self.backend = backend
+        self.handler = handler or QuantumCircuitHandler(seed=seed, backend=backend)
         self.casting = TypeCastingHandler(self.handler)
         self.operations = OperationEngine(self.handler, self.casting)
         self.symbols = SymbolTable()
@@ -468,7 +478,9 @@ class Interpreter:
         from ..algorithms.minimum_finding import find_minimum
 
         ints = self._collect_int_values(values, "min_of")
-        result = find_minimum(ints, seed=int(self.handler.rng.integers(0, 2**31)))
+        result = find_minimum(
+            ints, seed=int(self.handler.rng.integers(0, 2**31)), backend=self.backend
+        )
         return result.value if result.success else min(ints)
 
     def _builtin_max_of(self, values: Any = None) -> int:
@@ -476,5 +488,7 @@ class Interpreter:
         from ..algorithms.minimum_finding import find_maximum
 
         ints = self._collect_int_values(values, "max_of")
-        result = find_maximum(ints, seed=int(self.handler.rng.integers(0, 2**31)))
+        result = find_maximum(
+            ints, seed=int(self.handler.rng.integers(0, 2**31)), backend=self.backend
+        )
         return result.value if result.success else max(ints)

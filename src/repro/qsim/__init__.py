@@ -11,6 +11,8 @@ implementation with a self-contained, NumPy-based stack:
 * :mod:`repro.qsim.kernels` -- specialized in-place gate kernels + dispatch,
 * :mod:`repro.qsim.fusion` -- gate fusion (adjacent gates -> one unitary),
 * :mod:`repro.qsim.simulator` -- the statevector execution engine,
+* :mod:`repro.qsim.backends` -- the unified Backend/Job/Result execution
+  API with batched, parallel dispatch over every engine,
 * :mod:`repro.qsim.transpiler` -- decomposition and analysis passes,
 * :mod:`repro.qsim.qasm` -- OpenQASM 2.0 export,
 * :mod:`repro.qsim.noise` -- simple stochastic noise models.
@@ -18,7 +20,7 @@ implementation with a self-contained, NumPy-based stack:
 The public names most users need are re-exported here.
 """
 
-from .exceptions import QsimError, RegisterError, SimulationError
+from .exceptions import BackendError, QsimError, RegisterError, SimulationError
 from .registers import ClassicalRegister, Clbit, QuantumRegister, Qubit
 from .instruction import (
     Barrier,
@@ -44,11 +46,23 @@ from .density import (
     depolarizing_kraus,
     phase_flip_kraus,
 )
+from .backends import (
+    Backend,
+    DensityMatrixBackend,
+    ExperimentResult,
+    Job,
+    JobStatus,
+    StatevectorBackend,
+    get_backend,
+    list_backends,
+    register_backend,
+)
 
 __all__ = [
     "QsimError",
     "RegisterError",
     "SimulationError",
+    "BackendError",
     "QuantumRegister",
     "ClassicalRegister",
     "Qubit",
@@ -81,4 +95,13 @@ __all__ = [
     "phase_flip_kraus",
     "depolarizing_kraus",
     "amplitude_damping_kraus",
+    "Backend",
+    "Job",
+    "JobStatus",
+    "ExperimentResult",
+    "StatevectorBackend",
+    "DensityMatrixBackend",
+    "get_backend",
+    "list_backends",
+    "register_backend",
 ]

@@ -1,0 +1,48 @@
+"""Unified Backend / Job / Result execution API.
+
+One stable contract over every simulation engine::
+
+    from repro.qsim.backends import get_backend
+
+    backend = get_backend("statevector", seed=7)
+    job = backend.run([qc1, qc2, qc3], shots=1024, seed=42, workers=4)
+    result = job.result()
+    for experiment in result:
+        print(experiment.name, experiment.counts)
+
+* :mod:`~repro.qsim.backends.backend` -- the :class:`Backend` ABC with
+  batching, seed resolution and serial / thread / process dispatch,
+* :mod:`~repro.qsim.backends.job` -- :class:`Job` (``result() / status() /
+  cancel()``) and :class:`JobStatus`,
+* :mod:`~repro.qsim.backends.result` -- :class:`Result` +
+  :class:`ExperimentResult` (bitstring counts, probabilities, optional
+  state, timing metadata),
+* :mod:`~repro.qsim.backends.engines` -- :class:`StatevectorBackend`,
+  :class:`DensityMatrixBackend` and the driver helper
+  :func:`resolve_backend`,
+* :mod:`~repro.qsim.backends.registry` -- :func:`get_backend`,
+  :func:`list_backends`, :func:`register_backend`.
+
+See ``docs/backends.md`` for the full contract and the guide to plugging in
+a third-party engine.
+"""
+
+from .backend import Backend
+from .job import Job, JobStatus
+from .result import ExperimentResult, Result
+from .engines import DensityMatrixBackend, StatevectorBackend, resolve_backend
+from .registry import get_backend, list_backends, register_backend
+
+__all__ = [
+    "Backend",
+    "Job",
+    "JobStatus",
+    "ExperimentResult",
+    "Result",
+    "StatevectorBackend",
+    "DensityMatrixBackend",
+    "resolve_backend",
+    "get_backend",
+    "list_backends",
+    "register_backend",
+]

@@ -1,0 +1,248 @@
+"""The built-in backends: statevector and density matrix.
+
+Both are thin adapters: the heavy lifting stays in
+:class:`~repro.qsim.simulator.StatevectorSimulator` and
+:class:`~repro.qsim.density.DensityMatrixSimulator`; the backend classes
+translate the unified ``run`` contract (per-experiment seeds, batching,
+memory, timing) onto those engines and wrap their legacy results into
+:class:`~repro.qsim.backends.result.ExperimentResult`.
+
+Thread/process safety rule: a seeded experiment always runs on a **fresh
+engine instance** configured from the backend's template, so concurrent
+experiments never share RNG state; an unseeded (serial) experiment runs on
+the template engine itself, preserving the legacy sequential RNG stream that
+the algorithm drivers and their regression seeds rely on.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional, Union
+
+import numpy as np
+
+from ..circuit import QuantumCircuit
+from ..density import DensityMatrixSimulator
+from ..exceptions import BackendError
+from ..simulator import (
+    SIMULATOR_MAX_FUSED_QUBITS,
+    Result as EngineResult,
+    StatevectorSimulator,
+    measurements_are_final,
+)
+from .backend import Backend
+from .result import ExperimentResult
+
+__all__ = ["StatevectorBackend", "DensityMatrixBackend", "resolve_backend"]
+
+#: the per-shot collapse path is split into this many deterministic chunks
+#: (each with a seed spawned from the experiment seed), so the merged counts
+#: are identical no matter how many workers execute the chunks
+PER_SHOT_CHUNKS = 8
+
+
+def _wrap(
+    circuit: QuantumCircuit,
+    engine_result: EngineResult,
+    shots: int,
+    seed: Optional[int],
+    started: float,
+    metadata: Dict[str, Any],
+) -> ExperimentResult:
+    return ExperimentResult(
+        name=circuit.name,
+        counts=dict(engine_result.counts),
+        shots=shots,
+        seed=seed,
+        time_taken=time.perf_counter() - started,
+        statevector=engine_result.statevector,
+        density_matrix=engine_result.density_matrix,
+        memory=engine_result.memory,
+        metadata=metadata,
+    )
+
+
+class StatevectorBackend(Backend):
+    """Dense statevector execution behind the unified backend API.
+
+    Accepts either engine options (``seed``, ``noise_model``, ``fusion``,
+    ``max_fused_qubits``) or a pre-built *simulator* to wrap.  The run option
+    ``shot_workers=N`` (N > 1) parallelises the per-shot collapse path
+    (mid-circuit measurement or noise models) over deterministic shot
+    chunks; without an explicit experiment seed, one is derived from the
+    backend's RNG so the chunked path stays reproducible.
+    """
+
+    name = "statevector"
+
+    def __init__(
+        self,
+        seed: Optional[int] = None,
+        noise_model: Optional[object] = None,
+        fusion: bool = True,
+        max_fused_qubits: int = SIMULATOR_MAX_FUSED_QUBITS,
+        simulator: Optional[StatevectorSimulator] = None,
+    ):
+        super().__init__(seed)
+        if simulator is not None:
+            self._engine = simulator
+        else:
+            self._engine = StatevectorSimulator(
+                seed=seed,
+                noise_model=noise_model,
+                fusion=fusion,
+                max_fused_qubits=max_fused_qubits,
+            )
+
+    def _fresh_engine(self, seed: Optional[int]) -> StatevectorSimulator:
+        template = self._engine
+        return StatevectorSimulator(
+            seed=seed,
+            noise_model=template.noise_model,
+            fusion=template.fusion,
+            max_fused_qubits=template.max_fused_qubits,
+        )
+
+    def _run_experiment(
+        self,
+        circuit: QuantumCircuit,
+        shots: int,
+        seed: Optional[int],
+        memory: bool,
+        shot_workers: Optional[int] = None,
+        **options: Any,
+    ) -> ExperimentResult:
+        if options:
+            raise BackendError(f"unknown run options {sorted(options)} for {self.name!r}")
+        started = time.perf_counter()
+        per_shot = self._engine.noise_model is not None or not measurements_are_final(circuit)
+        if per_shot and shot_workers is not None and shot_workers > 1 and seed is None:
+            # chunked shot execution needs a concrete seed; derive one from
+            # the backend RNG (reproducible given the backend's own seed)
+            # instead of silently ignoring the shot_workers request
+            seed = int(self._rng.integers(0, 2**63))
+        if per_shot and shot_workers is not None and seed is not None:
+            engine_result = self._run_per_shot_chunked(
+                circuit, shots, seed, memory, shot_workers
+            )
+            metadata = {"method": "per_shot_chunked", "chunks": min(shots, PER_SHOT_CHUNKS)}
+            return _wrap(circuit, engine_result, shots, seed, started, metadata)
+        engine = self._engine if seed is None else self._fresh_engine(seed)
+        engine_result = engine.run(circuit, shots=shots, memory=memory)
+        metadata = {"method": "per_shot" if per_shot else "sampled"}
+        return _wrap(circuit, engine_result, shots, seed, started, metadata)
+
+    def _run_per_shot_chunked(
+        self,
+        circuit: QuantumCircuit,
+        shots: int,
+        seed: int,
+        memory: bool,
+        shot_workers: int,
+    ) -> EngineResult:
+        """Per-shot collapse split into seed-spawned chunks.
+
+        The chunking (sizes and per-chunk seeds) depends only on ``shots``
+        and ``seed`` -- never on ``shot_workers`` -- so the merged result is
+        identical whether the chunks run serially or on a thread pool.
+        """
+        num_chunks = min(shots, PER_SHOT_CHUNKS)
+        base, remainder = divmod(shots, num_chunks)
+        chunk_sizes = [base + (1 if i < remainder else 0) for i in range(num_chunks)]
+        chunk_seeds = np.random.SeedSequence(seed).spawn(num_chunks)
+
+        def run_chunk(chunk_shots: int, chunk_seed: np.random.SeedSequence) -> EngineResult:
+            engine = self._fresh_engine(chunk_seed)
+            return engine.run(circuit, shots=chunk_shots, memory=memory)
+
+        if shot_workers > 1:
+            from concurrent.futures import ThreadPoolExecutor
+
+            with ThreadPoolExecutor(max_workers=min(shot_workers, num_chunks)) as pool:
+                partials = list(pool.map(run_chunk, chunk_sizes, chunk_seeds))
+        else:
+            partials = [run_chunk(size, sq) for size, sq in zip(chunk_sizes, chunk_seeds)]
+
+        counts: Dict[str, int] = {}
+        shot_values: List[str] = []
+        for partial in partials:
+            for key, value in partial.counts.items():
+                counts[key] = counts.get(key, 0) + value
+            if memory and partial.memory is not None:
+                shot_values.extend(partial.memory)
+        return EngineResult(
+            counts=counts, shots=shots, memory=shot_values if memory else None
+        )
+
+
+class DensityMatrixBackend(Backend):
+    """Exact density-matrix execution behind the unified backend API.
+
+    ``gate_noise`` maps gate arity (1 or 2) to single-qubit Kraus operators,
+    exactly as on :class:`DensityMatrixSimulator`.
+    """
+
+    name = "density_matrix"
+
+    def __init__(
+        self,
+        seed: Optional[int] = None,
+        gate_noise: Optional[Dict[int, List[np.ndarray]]] = None,
+        simulator: Optional[DensityMatrixSimulator] = None,
+    ):
+        super().__init__(seed)
+        if simulator is not None:
+            self._engine = simulator
+        else:
+            self._engine = DensityMatrixSimulator(seed=seed, gate_noise=gate_noise)
+
+    def _run_experiment(
+        self,
+        circuit: QuantumCircuit,
+        shots: int,
+        seed: Optional[int],
+        memory: bool,
+        **options: Any,
+    ) -> ExperimentResult:
+        if options:
+            raise BackendError(f"unknown run options {sorted(options)} for {self.name!r}")
+        started = time.perf_counter()
+        if seed is None:
+            engine = self._engine
+        else:
+            engine = DensityMatrixSimulator(seed=seed, gate_noise=self._engine.gate_noise)
+        engine_result = engine.run(circuit, shots=shots, memory=memory)
+        method = "sampled" if measurements_are_final(circuit) else "per_shot"
+        return _wrap(circuit, engine_result, shots, seed, started, {"method": method})
+
+
+def resolve_backend(
+    backend: Union["Backend", str, None],
+    simulator: Optional[StatevectorSimulator] = None,
+    default_seed: Optional[int] = None,
+) -> Backend:
+    """Normalise the ``backend=`` / legacy ``simulator=`` pair of a driver.
+
+    The algorithm drivers accept both the new ``backend=`` parameter (a
+    :class:`Backend` instance or registry name) and the legacy
+    ``simulator=`` one; passing both is ambiguous and rejected.  With
+    neither, a statevector backend seeded with *default_seed* is built --
+    reproducing the drivers' historical default behaviour exactly.
+    """
+    if backend is not None and simulator is not None:
+        raise BackendError("pass either backend= or simulator=, not both")
+    if backend is None:
+        if simulator is not None:
+            return StatevectorBackend(simulator=simulator)
+        return StatevectorBackend(seed=default_seed)
+    if isinstance(backend, str):
+        from .registry import get_backend
+
+        # a registry name must behave like backend=None with that engine:
+        # the driver's seed still seeds it, or reproducibility silently dies
+        if default_seed is not None:
+            return get_backend(backend, seed=default_seed)
+        return get_backend(backend)
+    if not isinstance(backend, Backend):
+        raise BackendError(f"cannot use {type(backend).__name__} as a backend")
+    return backend

@@ -1,0 +1,164 @@
+"""Job handles returned by :meth:`Backend.run`.
+
+A :class:`Job` decouples *submitting* a batch of circuits from *consuming*
+its results: serial jobs are executed eagerly and are ``DONE`` the moment
+``run()`` returns, while parallel jobs own a ``concurrent.futures`` pool and
+complete in the background.  Either way the caller sees the same three
+methods -- ``result()``, ``status()``, ``cancel()``.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import time
+from concurrent.futures import CancelledError, Executor, Future
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from typing import List, Optional, TYPE_CHECKING
+
+from ..exceptions import BackendError
+from .result import ExperimentResult, Result
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .backend import Backend
+
+__all__ = ["Job", "JobStatus"]
+
+_JOB_COUNTER = itertools.count()
+
+
+class JobStatus(enum.Enum):
+    """Lifecycle states of a :class:`Job`."""
+
+    QUEUED = "QUEUED"
+    RUNNING = "RUNNING"
+    DONE = "DONE"
+    CANCELLED = "CANCELLED"
+    ERROR = "ERROR"
+
+
+class Job:
+    """A submitted batch of circuits and its (eventual) :class:`Result`.
+
+    Instances are created by :meth:`Backend.run`; user code only consumes
+    them.  ``result()`` blocks until every experiment finished, assembles the
+    unified :class:`Result` and releases the worker pool.
+    """
+
+    def __init__(
+        self,
+        backend: "Backend",
+        futures: List[Future],
+        executor: Optional[Executor] = None,
+        submitted_at: Optional[float] = None,
+    ):
+        self.backend = backend
+        self.job_id = f"{backend.name}-{next(_JOB_COUNTER)}"
+        self._futures = futures
+        self._executor = executor
+        self._submitted_at = submitted_at if submitted_at is not None else time.perf_counter()
+        self._result: Optional[Result] = None
+        self._error: Optional[BaseException] = None
+        self._cancelled = False
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def result(self, timeout: Optional[float] = None) -> Result:
+        """Block until the batch finished and return the unified :class:`Result`.
+
+        *timeout* bounds the **total** wait in seconds; on expiry a
+        :class:`BackendError` is raised but the job stays alive -- the work
+        keeps running and a later ``result()`` call can still collect it.
+        """
+        if self._result is not None:
+            return self._result
+        if self._cancelled:
+            raise BackendError(f"job {self.job_id} was cancelled")
+        if self._error is not None:
+            raise BackendError(f"job {self.job_id} failed: {self._error}") from self._error
+        deadline = None if timeout is None else time.monotonic() + timeout
+        experiments: List[ExperimentResult] = []
+        try:
+            for future in self._futures:
+                remaining = None if deadline is None else max(0.0, deadline - time.monotonic())
+                experiments.append(future.result(timeout=remaining))
+        except FuturesTimeoutError:
+            # transient by design: do not poison the job or kill the pool
+            raise BackendError(
+                f"job {self.job_id} did not finish within {timeout} s "
+                "(still running; call result() again)"
+            ) from None
+        except CancelledError:
+            self._cancelled = True
+            self._shutdown()
+            raise BackendError(f"job {self.job_id} was cancelled") from None
+        except BaseException as exc:  # noqa: BLE001 - rewrap with job context
+            self._error = exc
+            self._shutdown()
+            raise BackendError(f"job {self.job_id} failed: {exc}") from exc
+        self._shutdown()
+        self._result = Result(
+            backend_name=self.backend.name,
+            job_id=self.job_id,
+            results=experiments,
+            time_taken=time.perf_counter() - self._submitted_at,
+        )
+        return self._result
+
+    def status(self) -> JobStatus:
+        """Current lifecycle state of the job."""
+        if self._cancelled:
+            return JobStatus.CANCELLED
+        if self._error is not None:
+            return JobStatus.ERROR
+        if self._result is not None or all(f.done() for f in self._futures):
+            # terminal either way: the pool has no more work, release it even
+            # if the consumer only ever polls status()/done()
+            self._shutdown()
+            if any(f.cancelled() for f in self._futures):
+                return JobStatus.CANCELLED
+            if any(f.done() and f.exception() is not None for f in self._futures):
+                return JobStatus.ERROR
+            return JobStatus.DONE
+        if any(f.running() or f.done() for f in self._futures):
+            return JobStatus.RUNNING
+        return JobStatus.QUEUED
+
+    def cancel(self) -> bool:
+        """Cancel every experiment that has not started yet.
+
+        Returns ``True`` if the whole job was cancelled before any work
+        started; the job is then terminal.  Otherwise ``False`` is returned
+        and the job is **partially cancelled**: experiments already running
+        finish, but the batch is incomplete, so ``result()`` reports the job
+        as cancelled rather than returning a partial batch.  (On a finished
+        job, ``cancel()`` is a no-op returning ``False`` and ``result()``
+        stays available.)
+        """
+        if self._result is not None:
+            return False
+        cancelled_all = True
+        for future in self._futures:
+            if not future.cancel():
+                cancelled_all = False
+        if cancelled_all:
+            self._cancelled = True
+            self._shutdown()
+        return cancelled_all
+
+    def done(self) -> bool:
+        """Whether every experiment has finished (successfully or not)."""
+        finished = all(f.done() for f in self._futures)
+        if finished:
+            self._shutdown()
+        return finished
+
+    # -- internals ---------------------------------------------------------------
+
+    def _shutdown(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=False)
+            self._executor = None
+
+    def __repr__(self) -> str:
+        return f"Job(id={self.job_id!r}, status={self.status().value})"

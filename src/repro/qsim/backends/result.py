@@ -1,0 +1,127 @@
+"""Unified result types of the backend execution API.
+
+Every engine behind a :class:`~repro.qsim.backends.backend.Backend` reports
+its outcomes in the same shape: a :class:`Result` holding one
+:class:`ExperimentResult` per submitted circuit.  Counts are always keyed by
+**MSB-first classical-register bitstrings** (the last classical bit is the
+leftmost character), matching the convention of the statevector engine's
+legacy :class:`repro.qsim.simulator.Result` -- so the same post-processing
+works no matter which backend produced the data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+from ..exceptions import BackendError
+
+__all__ = ["ExperimentResult", "Result"]
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one circuit of a batch.
+
+    Attributes:
+        name: name of the circuit that produced this result.
+        counts: histogram of classical-register bitstrings (MSB first).
+        shots: number of shots sampled.
+        seed: the concrete RNG seed this experiment ran with (``None`` when
+            the engine's own sequential RNG stream was used).
+        time_taken: wall-clock seconds spent executing this experiment.
+        statevector: final pre-measurement statevector, when the engine ran
+            the sampled fast path (statevector backend only).
+        density_matrix: final density matrix, when produced by the
+            density-matrix backend's single-pass path.
+        memory: per-shot bitstrings when ``memory=True`` was requested.
+        metadata: engine-specific extras (execution strategy, noise, ...).
+    """
+
+    name: str
+    counts: Dict[str, int]
+    shots: int
+    seed: Optional[int] = None
+    time_taken: float = 0.0
+    statevector: Optional[Any] = None
+    density_matrix: Optional[Any] = None
+    memory: Optional[List[str]] = None
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    def most_frequent(self) -> str:
+        """The most frequently observed bitstring."""
+        if not self.counts:
+            raise BackendError("experiment has no counts (no measurements in circuit)")
+        return max(self.counts.items(), key=lambda kv: kv[1])[0]
+
+    def probabilities(self) -> Dict[str, float]:
+        """Counts normalised to relative frequencies."""
+        total = sum(self.counts.values())
+        if total == 0:
+            return {}
+        return {key: value / total for key, value in self.counts.items()}
+
+    def int_counts(self) -> Dict[int, int]:
+        """Counts keyed by the integer value of the bitstring."""
+        return {int(key, 2): value for key, value in self.counts.items()}
+
+
+@dataclass
+class Result:
+    """Everything a :class:`~repro.qsim.backends.job.Job` produced.
+
+    Indexable and iterable over its per-circuit :class:`ExperimentResult`
+    entries, in submission order.
+    """
+
+    backend_name: str
+    job_id: str
+    results: List[ExperimentResult]
+    time_taken: float = 0.0
+    success: bool = True
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self) -> Iterator[ExperimentResult]:
+        return iter(self.results)
+
+    def __getitem__(self, index: int) -> ExperimentResult:
+        return self.results[index]
+
+    def _resolve(self, key: Union[int, str, None]) -> ExperimentResult:
+        if not self.results:
+            raise BackendError("result holds no experiments")
+        if key is None:
+            if len(self.results) > 1:
+                raise BackendError(
+                    f"result holds {len(self.results)} experiments; "
+                    "pass an index or circuit name"
+                )
+            return self.results[0]
+        if isinstance(key, int):
+            try:
+                return self.results[key]
+            except IndexError:
+                raise BackendError(
+                    f"experiment index {key} out of range ({len(self.results)} experiments)"
+                ) from None
+        for experiment in self.results:
+            if experiment.name == key:
+                return experiment
+        raise BackendError(f"no experiment named {key!r} in result")
+
+    def get_counts(self, key: Union[int, str, None] = None) -> Dict[str, int]:
+        """Counts of one experiment (by index or circuit name).
+
+        With a single-experiment result *key* may be omitted.
+        """
+        return self._resolve(key).counts
+
+    def get_memory(self, key: Union[int, str, None] = None) -> List[str]:
+        """Per-shot bitstrings of one experiment (requires ``memory=True``)."""
+        memory = self._resolve(key).memory
+        if memory is None:
+            raise BackendError("experiment was run without memory=True")
+        return memory

@@ -17,9 +17,10 @@ from typing import Dict, Iterable, List, Optional, Sequence
 import numpy as np
 
 from . import gates
-from .circuit import QuantumCircuit
+from .circuit import CircuitInstruction, QuantumCircuit
 from .exceptions import SimulationError
 from .instruction import Barrier, Initialize, Measure, Reset
+from .simulator import Result, format_bits, measurements_are_final
 from .statevector import Statevector
 
 __all__ = [
@@ -266,57 +267,152 @@ class DensityMatrixSimulator:
             state = initial.copy()
         for instr in circuit.data:
             op = instr.operation
-            targets = [circuit.qubit_index(q) for q in instr.qubits]
-            if isinstance(op, Barrier):
-                continue
             if isinstance(op, Measure):
-                state.measure(targets, rng=self._rng)
+                state.measure([circuit.qubit_index(q) for q in instr.qubits], rng=self._rng)
                 continue
-            if isinstance(op, Reset):
-                outcome = state.measure(targets, rng=self._rng)
-                if outcome:
-                    state.apply_unitary(gates.X, targets)
-                continue
-            if isinstance(op, Initialize):
-                # mirror the statevector engine's contract (targets must be in
-                # |0>); the dense representation only supports the whole-register
-                # case, which is all the front-end ever emits for pure prep.
-                if len(targets) != circuit.num_qubits:
-                    raise SimulationError(
-                        "DensityMatrixSimulator supports initialize only over all qubits"
-                    )
-                pure = Statevector.zero_state(circuit.num_qubits)
-                pure.initialize_qubits(op.statevector, targets)
-                state = DensityMatrix.from_statevector(pure)
-                continue
-            if not op.is_unitary:
-                raise SimulationError(f"cannot simulate instruction {op.name!r}")
-            state.apply_unitary(op.to_matrix(), targets)
-            noise = self.gate_noise.get(min(len(targets), 2))
-            if noise:
-                for qubit in targets:
-                    state.apply_kraus(noise, [qubit])
+            state = self._apply(state, circuit, instr)
         return state
 
-    def run_counts(self, circuit: QuantumCircuit, shots: int = 1024) -> Dict[int, int]:
-        """Measurement histogram over the measured qubits of *circuit*."""
-        measured = [
-            circuit.qubit_index(instr.qubits[0])
-            for instr in circuit.data
-            if isinstance(instr.operation, Measure)
-        ]
-        if not measured:
+    def run(
+        self,
+        circuit: QuantumCircuit,
+        shots: int = 1024,
+        memory: bool = False,
+        seed: Optional[int] = None,
+    ) -> Result:
+        """Execute *circuit* for *shots* shots and return a :class:`Result`.
+
+        The result has exactly the shape of the statevector engine's: counts
+        keyed by MSB-first classical-register bitstrings, optional per-shot
+        ``memory``, and (on the sampled fast path) the pre-measurement
+        ``density_matrix``.  *seed* overrides the constructor RNG for this
+        call only, leaving the simulator's own stream untouched.
+        """
+        if shots <= 0:
+            raise SimulationError("shots must be positive")
+        rng = self._rng if seed is None else np.random.default_rng(seed)
+        previous_rng, self._rng = self._rng, rng
+        try:
+            if measurements_are_final(circuit):
+                return self._run_sampled(circuit, shots, memory)
+            return self._run_per_shot(circuit, shots, memory)
+        finally:
+            self._rng = previous_rng
+
+    def run_counts(
+        self, circuit: QuantumCircuit, shots: int = 1024, seed: Optional[int] = None
+    ) -> Dict[int, int]:
+        """Measurement histogram keyed by integer outcome.
+
+        .. deprecated::
+            Thin shim over :meth:`run`; use ``run(...).counts`` (bitstring
+            keys, consistent with the statevector engine) or the unified
+            backend API (:mod:`repro.qsim.backends`) instead.  Keys follow
+            the classical-register convention of :meth:`Result.int_counts`.
+        """
+        if not any(isinstance(instr.operation, Measure) for instr in circuit.data):
             raise SimulationError("circuit has no measurements")
-        unitary_only = QuantumCircuit(name=circuit.name)
-        for reg in circuit.qregs:
-            unitary_only.add_register(reg)
-        for reg in circuit.cregs:
-            unitary_only.add_register(reg)
+        return self.run(circuit, shots=shots, seed=seed).int_counts()
+
+    # -- internals ---------------------------------------------------------------
+
+    def _apply(
+        self, state: DensityMatrix, circuit: QuantumCircuit, instr: CircuitInstruction
+    ) -> DensityMatrix:
+        """Apply one non-measurement instruction, returning the evolved state."""
+        op = instr.operation
+        targets = [circuit.qubit_index(q) for q in instr.qubits]
+        if isinstance(op, Barrier):
+            return state
+        if isinstance(op, Reset):
+            outcome = state.measure(targets, rng=self._rng)
+            if outcome:
+                state.apply_unitary(gates.X, targets)
+            return state
+        if isinstance(op, Initialize):
+            # mirror the statevector engine's contract (targets must be in
+            # |0>); the dense representation only supports the whole-register
+            # case, which is all the front-end ever emits for pure prep.
+            if len(targets) != circuit.num_qubits:
+                raise SimulationError(
+                    "DensityMatrixSimulator supports initialize only over all qubits"
+                )
+            pure = Statevector.zero_state(circuit.num_qubits)
+            pure.initialize_qubits(op.statevector, targets)
+            return DensityMatrix.from_statevector(pure)
+        if not op.is_unitary:
+            raise SimulationError(f"cannot simulate instruction {op.name!r}")
+        state.apply_unitary(op.to_matrix(), targets)
+        noise = self.gate_noise.get(min(len(targets), 2))
+        if noise:
+            for qubit in targets:
+                state.apply_kraus(noise, [qubit])
+        return state
+
+    def _run_sampled(self, circuit: QuantumCircuit, shots: int, memory: bool) -> Result:
+        # mirror of StatevectorSimulator._run_sampled so that both engines
+        # produce identically formatted (and, noiselessly, identical) counts
+        state = DensityMatrix.zero_state(circuit.num_qubits)
+        measure_map: List[tuple] = []  # (qubit index, clbit index)
         for instr in circuit.data:
             if isinstance(instr.operation, Measure):
+                measure_map.append(
+                    (circuit.qubit_index(instr.qubits[0]), circuit.clbit_index(instr.clbits[0]))
+                )
                 continue
-            unitary_only.append(instr.operation.copy(), instr.qubits, instr.clbits)
-        state = self.evolve(unitary_only)
-        probs = state.probabilities(measured)
+            state = self._apply(state, circuit, instr)
+
+        num_clbits = circuit.num_clbits
+        if not measure_map:
+            return Result(
+                counts={}, shots=shots, density_matrix=state, memory=[] if memory else None
+            )
+        qubits = [q for q, _ in measure_map]
+        probs = state.probabilities(qubits)
         sampled = self._rng.multinomial(shots, probs / probs.sum())
-        return {value: int(count) for value, count in enumerate(sampled) if count}
+        counts: Dict[str, int] = {}
+        shot_values: List[str] = []
+        for value, count in enumerate(sampled):
+            if not count:
+                continue
+            bits = {}
+            for position, (_, clbit) in enumerate(measure_map):
+                bits[clbit] = (value >> position) & 1
+            key = format_bits(bits, num_clbits)
+            counts[key] = counts.get(key, 0) + int(count)
+            if memory:
+                shot_values.extend([key] * int(count))
+        if memory:
+            self._rng.shuffle(shot_values)
+        return Result(
+            counts=counts,
+            shots=shots,
+            density_matrix=state,
+            memory=shot_values if memory else None,
+        )
+
+    def _run_per_shot(self, circuit: QuantumCircuit, shots: int, memory: bool) -> Result:
+        counts: Dict[str, int] = {}
+        shot_values: List[str] = []
+        num_clbits = circuit.num_clbits
+        for _ in range(shots):
+            state = DensityMatrix.zero_state(circuit.num_qubits)
+            bits: Dict[int, int] = {}
+            for instr in circuit.data:
+                if isinstance(instr.operation, Measure):
+                    qubit = circuit.qubit_index(instr.qubits[0])
+                    clbit = circuit.clbit_index(instr.clbits[0])
+                    bits[clbit] = state.measure([qubit], rng=self._rng)
+                    continue
+                state = self._apply(state, circuit, instr)
+            key = format_bits(bits, num_clbits) if bits else ""
+            if key:
+                counts[key] = counts.get(key, 0) + 1
+                if memory:
+                    shot_values.append(key)
+        return Result(
+            counts=counts,
+            shots=shots,
+            density_matrix=None,
+            memory=shot_values if memory else None,
+        )

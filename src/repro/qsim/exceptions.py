@@ -15,3 +15,7 @@ class CircuitError(QsimError):
 
 class SimulationError(QsimError):
     """Raised when a circuit cannot be simulated (unsupported op, bad state)."""
+
+
+class BackendError(QsimError):
+    """Raised by the backend execution API (unknown backend, bad job usage)."""

@@ -36,7 +36,13 @@ from .instruction import Barrier, Initialize, Measure, Reset
 from .noise import NoiseModel
 from .statevector import Statevector
 
-__all__ = ["StatevectorSimulator", "Result", "SIMULATOR_MAX_FUSED_QUBITS"]
+__all__ = [
+    "StatevectorSimulator",
+    "Result",
+    "SIMULATOR_MAX_FUSED_QUBITS",
+    "measurements_are_final",
+    "format_bits",
+]
 
 #: fusion budget used by the simulator; one notch above the fusion pass's
 #: conservative default of 3 because, at execution scale, fewer passes over
@@ -49,6 +55,33 @@ SIMULATOR_MAX_FUSED_QUBITS = 4
 _MIN_FUSION_QUBITS = 10
 
 
+def measurements_are_final(circuit: QuantumCircuit) -> bool:
+    """Whether no gate touches a measured qubit after its measurement.
+
+    Shared by every engine: circuits with only-final measurements can be
+    evolved once and sampled, instead of simulated shot by shot.
+    """
+    measured: set = set()
+    for instr in circuit.data:
+        op = instr.operation
+        if isinstance(op, Measure):
+            measured.add(instr.qubits[0])
+        elif isinstance(op, Barrier):
+            continue
+        else:
+            if any(q in measured for q in instr.qubits):
+                return False
+    return True
+
+
+def format_bits(bits: Dict[int, int], num_clbits: int) -> str:
+    """Render clbit values as the MSB-first bitstring used by every result type."""
+    chars = ["0"] * num_clbits
+    for position, value in bits.items():
+        chars[num_clbits - 1 - position] = "1" if value else "0"
+    return "".join(chars)
+
+
 @dataclass
 class Result:
     """Outcome of a simulation run.
@@ -59,12 +92,15 @@ class Result:
         shots: number of shots sampled.
         statevector: final pre-measurement statevector when available (fast
             path only; ``None`` when per-shot collapse was required).
+        density_matrix: final pre-measurement density matrix when the run
+            came from the density-matrix engine's sampled path.
         memory: per-shot bitstrings when ``memory=True`` was requested.
     """
 
     counts: Dict[str, int]
     shots: int
     statevector: Optional[Statevector] = None
+    density_matrix: Optional["object"] = None
     memory: Optional[List[str]] = None
 
     def most_frequent(self) -> str:
@@ -114,14 +150,32 @@ class StatevectorSimulator:
         shots: int = 1024,
         memory: bool = False,
         initial_state: Optional[Statevector] = None,
+        seed: Optional[int] = None,
     ) -> Result:
-        """Execute *circuit* for *shots* shots and return a :class:`Result`."""
+        """Execute *circuit* for *shots* shots and return a :class:`Result`.
+
+        *seed* overrides the constructor RNG for this call only, making the
+        run independently reproducible; the simulator's own RNG stream is
+        left untouched.
+
+        .. deprecated::
+            Prefer the unified execution API --
+            ``get_backend("statevector").run(...)`` from
+            :mod:`repro.qsim.backends` -- which adds batching, parallel
+            dispatch and a backend-independent result type.  This method is
+            kept as a thin compatibility shim.
+        """
         if shots <= 0:
             raise SimulationError("shots must be positive")
         circuit = self._prepare(circuit)
-        if self.noise_model is not None or not self._measurements_are_final(circuit):
-            return self._run_per_shot(circuit, shots, memory, initial_state)
-        return self._run_sampled(circuit, shots, memory, initial_state)
+        rng = self._rng if seed is None else np.random.default_rng(seed)
+        previous_rng, self._rng = self._rng, rng
+        try:
+            if self.noise_model is not None or not self._measurements_are_final(circuit):
+                return self._run_per_shot(circuit, shots, memory, initial_state)
+            return self._run_sampled(circuit, shots, memory, initial_state)
+        finally:
+            self._rng = previous_rng
 
     def evolve(
         self,
@@ -171,17 +225,7 @@ class StatevectorSimulator:
 
     @staticmethod
     def _measurements_are_final(circuit: QuantumCircuit) -> bool:
-        measured: set = set()
-        for instr in circuit.data:
-            op = instr.operation
-            if isinstance(op, Measure):
-                measured.add(instr.qubits[0])
-            elif isinstance(op, Barrier):
-                continue
-            else:
-                if any(q in measured for q in instr.qubits):
-                    return False
-        return True
+        return measurements_are_final(circuit)
 
     def _initial_state(
         self, circuit: QuantumCircuit, initial_state: Optional[Statevector]
@@ -215,10 +259,7 @@ class StatevectorSimulator:
         return max(circuit.num_clbits, 1)
 
     def _format_bits(self, bits: Dict[int, int], num_clbits: int) -> str:
-        chars = ["0"] * num_clbits
-        for position, value in bits.items():
-            chars[num_clbits - 1 - position] = "1" if value else "0"
-        return "".join(chars)
+        return format_bits(bits, num_clbits)
 
     def _run_sampled(
         self,

@@ -1,0 +1,347 @@
+"""Tests for the unified Backend/Job/Result execution API."""
+
+import numpy as np
+import pytest
+
+from repro.qsim import QuantumCircuit
+from repro.qsim.backends import (
+    Backend,
+    DensityMatrixBackend,
+    ExperimentResult,
+    JobStatus,
+    StatevectorBackend,
+    get_backend,
+    list_backends,
+    register_backend,
+    resolve_backend,
+)
+from repro.qsim.backends.registry import _ALIASES, _REGISTRY
+from repro.qsim.density import DensityMatrixSimulator, depolarizing_kraus
+from repro.qsim.exceptions import BackendError
+from repro.qsim.simulator import StatevectorSimulator
+
+
+def bell_circuit(name="bell"):
+    qc = QuantumCircuit(2, 2)
+    qc.h(0).cx(0, 1)
+    qc.measure([0, 1], [0, 1])
+    qc.name = name
+    return qc
+
+
+def basis_circuit(value, num_qubits=3):
+    """Deterministic circuit preparing and measuring |value>."""
+    qc = QuantumCircuit(num_qubits, num_qubits)
+    for bit in range(num_qubits):
+        if (value >> bit) & 1:
+            qc.x(bit)
+    qc.measure(list(range(num_qubits)), list(range(num_qubits)))
+    qc.name = f"basis_{value}"
+    return qc
+
+
+def midcircuit_circuit():
+    """Mid-circuit measurement forces the per-shot collapse path."""
+    qc = QuantumCircuit(2, 2)
+    qc.h(0)
+    qc.measure(0, 0)
+    qc.x(1)
+    qc.cx(0, 1)
+    qc.measure(1, 1)
+    return qc
+
+
+class TestRegistry:
+    def test_round_trip(self):
+        backend = get_backend("statevector")
+        assert isinstance(backend, StatevectorBackend)
+        assert backend.name == "statevector"
+        assert isinstance(get_backend("density_matrix"), DensityMatrixBackend)
+
+    def test_aliases(self):
+        assert isinstance(get_backend("sv"), StatevectorBackend)
+        assert isinstance(get_backend("dm"), DensityMatrixBackend)
+        assert isinstance(get_backend("DENSITY"), DensityMatrixBackend)
+
+    def test_list_backends(self):
+        names = list_backends()
+        assert "statevector" in names and "density_matrix" in names
+        assert "sv" not in names
+        assert "sv" in list_backends(include_aliases=True)
+
+    def test_unknown_name(self):
+        with pytest.raises(BackendError, match="unknown backend"):
+            get_backend("no_such_engine")
+
+    def test_options_forwarded(self):
+        backend = get_backend("statevector", seed=3)
+        counts_a = backend.run(bell_circuit(), shots=100).result().get_counts()
+        counts_b = get_backend("statevector", seed=3).run(bell_circuit(), shots=100).result().get_counts()
+        assert counts_a == counts_b
+
+    def test_register_third_party_backend(self):
+        class EchoBackend(Backend):
+            name = "echo"
+
+            def _run_experiment(self, circuit, shots, seed, memory, **options):
+                return ExperimentResult(
+                    name=circuit.name, counts={"0": shots}, shots=shots, seed=seed
+                )
+
+        register_backend("echo", EchoBackend)
+        try:
+            backend = get_backend("echo")
+            result = backend.run(bell_circuit(), shots=7).result()
+            assert result.get_counts() == {"0": 7}
+        finally:
+            _REGISTRY.pop("echo", None)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(BackendError, match="already registered"):
+            register_backend("statevector", StatevectorBackend)
+
+    def test_factory_must_return_backend(self):
+        register_backend("broken", lambda **kw: object())
+        try:
+            with pytest.raises(BackendError, match="not a Backend"):
+                get_backend("broken")
+        finally:
+            _REGISTRY.pop("broken", None)
+
+    def test_alias_cleanup_guard(self):
+        # the alias table must never point at an unregistered name
+        for alias, target in _ALIASES.items():
+            assert target in _REGISTRY
+
+
+class TestRunContract:
+    def test_single_circuit_matches_legacy_engine(self):
+        qc = bell_circuit()
+        unified = get_backend("statevector").run(qc, shots=256, seed=11).result()
+        legacy = StatevectorSimulator(seed=11).run(qc, shots=256)
+        assert unified.get_counts() == legacy.counts
+        assert unified[0].shots == 256
+        assert unified[0].seed == 11
+        assert unified[0].time_taken >= 0.0
+
+    def test_job_lifecycle(self):
+        job = get_backend("statevector").run(bell_circuit(), shots=32, seed=0)
+        assert job.status() is JobStatus.DONE
+        assert job.done()
+        result = job.result()
+        assert result.job_id == job.job_id
+        assert job.cancel() is False  # too late, work is done
+        assert job.result() is result  # cached
+
+    def test_batch_of_n_equals_n_sequential_runs(self):
+        circuits = [bell_circuit(f"c{i}") for i in range(4)]
+        batch = get_backend("statevector").run(circuits, shots=128, seed=40).result()
+        assert len(batch) == 4
+        for i, experiment in enumerate(batch):
+            single = StatevectorSimulator(seed=40 + i).run(circuits[i], shots=128)
+            assert experiment.counts == single.counts
+            assert experiment.seed == 40 + i
+
+    def test_explicit_seed_list(self):
+        circuits = [bell_circuit(), bell_circuit()]
+        result = get_backend("statevector").run(circuits, shots=64, seed=[5, 5]).result()
+        assert result[0].counts == result[1].counts
+
+    def test_seed_list_length_mismatch(self):
+        with pytest.raises(BackendError, match="seeds"):
+            get_backend("statevector").run([bell_circuit()], shots=8, seed=[1, 2])
+
+    def test_per_call_seed_leaves_engine_stream_untouched(self):
+        a = StatevectorSimulator(seed=2)
+        b = StatevectorSimulator(seed=2)
+        a.run(bell_circuit(), shots=50, seed=999)  # seeded call must not advance the stream
+        assert a.run(bell_circuit(), shots=50).counts == b.run(bell_circuit(), shots=50).counts
+
+    def test_result_lookup_by_name_and_index(self):
+        circuits = [bell_circuit("first"), bell_circuit("second")]
+        result = get_backend("statevector").run(circuits, shots=16, seed=1).result()
+        assert result.get_counts("second") == result.get_counts(1)
+        with pytest.raises(BackendError, match="no experiment named"):
+            result.get_counts("third")
+        with pytest.raises(BackendError, match="pass an index"):
+            result.get_counts()
+
+    def test_memory(self):
+        result = get_backend("statevector").run(bell_circuit(), shots=20, seed=3, memory=True).result()
+        memory = result.get_memory()
+        assert len(memory) == 20
+        assert set(memory) <= {"00", "11"}
+
+    def test_invalid_inputs(self):
+        backend = get_backend("statevector")
+        with pytest.raises(BackendError, match="shots"):
+            backend.run(bell_circuit(), shots=0)
+        with pytest.raises(BackendError, match="at least one circuit"):
+            backend.run([])
+        with pytest.raises(BackendError, match="expected QuantumCircuit"):
+            backend.run(["nope"])
+        with pytest.raises(BackendError, match="unknown run options"):
+            backend.run(bell_circuit(), shots=8, bogus_option=1).result()
+
+    def test_experiment_result_helpers(self):
+        result = get_backend("statevector").run(basis_circuit(5), shots=30, seed=0).result()
+        experiment = result[0]
+        assert experiment.most_frequent() == "101"
+        assert experiment.int_counts() == {5: 30}
+        assert experiment.probabilities() == {"101": 1.0}
+
+
+class TestParallelDispatch:
+    CIRCUITS = 6
+
+    def _batch(self):
+        return [bell_circuit(f"c{i}") for i in range(self.CIRCUITS)]
+
+    @pytest.mark.parametrize("executor", ["thread", "process"])
+    def test_parallel_equals_serial_with_same_seeds(self, executor):
+        backend = get_backend("statevector")
+        serial = backend.run(self._batch(), shots=96, seed=8).result()
+        parallel = backend.run(
+            self._batch(), shots=96, seed=8, workers=2, executor=executor
+        ).result()
+        assert [e.counts for e in serial] == [e.counts for e in parallel]
+
+    def test_unseeded_parallel_reproducible_from_backend_seed(self):
+        a = get_backend("statevector", seed=17).run(
+            self._batch(), shots=48, workers=2, executor="thread"
+        ).result()
+        b = get_backend("statevector", seed=17).run(
+            self._batch(), shots=48, workers=2, executor="thread"
+        ).result()
+        assert [e.counts for e in a] == [e.counts for e in b]
+
+    def test_unknown_executor(self):
+        with pytest.raises(BackendError, match="unknown executor"):
+            get_backend("statevector").run(self._batch(), shots=8, seed=0, workers=2, executor="fiber")
+
+    @pytest.mark.parametrize("shot_workers", [1, 3])
+    def test_per_shot_chunked_path_is_worker_count_invariant(self, shot_workers):
+        backend = get_backend("statevector")
+        reference = backend.run(midcircuit_circuit(), shots=103, seed=6, shot_workers=1).result()[0]
+        other = backend.run(
+            midcircuit_circuit(), shots=103, seed=6, shot_workers=shot_workers
+        ).result()[0]
+        assert reference.metadata["method"] == "per_shot_chunked"
+        assert reference.counts == other.counts
+        assert sum(reference.counts.values()) == 103
+
+    def test_per_shot_chunked_without_seed_derives_from_backend_rng(self):
+        a = get_backend("statevector", seed=21).run(
+            midcircuit_circuit(), shots=50, shot_workers=2
+        ).result()[0]
+        b = get_backend("statevector", seed=21).run(
+            midcircuit_circuit(), shots=50, shot_workers=2
+        ).result()[0]
+        assert a.metadata["method"] == "per_shot_chunked"
+        assert a.counts == b.counts
+
+    def test_result_timeout_does_not_poison_job(self):
+        job = get_backend("statevector").run(bell_circuit(), shots=16, seed=0)
+        first = job.result(timeout=5)
+        assert job.result() is first  # still retrievable afterwards
+
+    def test_per_shot_chunked_memory_order_deterministic(self):
+        backend = get_backend("statevector")
+        m1 = backend.run(midcircuit_circuit(), shots=40, seed=9, shot_workers=1, memory=True).result().get_memory()
+        m2 = backend.run(midcircuit_circuit(), shots=40, seed=9, shot_workers=2, memory=True).result().get_memory()
+        assert m1 == m2 and len(m1) == 40
+
+
+class TestDensityBackend:
+    def test_same_counts_format_as_statevector(self):
+        qc = bell_circuit()
+        sv = get_backend("statevector").run(qc, shots=200, seed=12).result()
+        dm = get_backend("density_matrix").run(qc, shots=200, seed=12).result()
+        assert set(sv.get_counts()) == set(dm.get_counts()) <= {"00", "11"}
+        # noiseless, same seed, same sampling pipeline: identical histograms
+        assert sv.get_counts() == dm.get_counts()
+
+    def test_deterministic_circuit_identical_counts(self):
+        qc = basis_circuit(6)
+        sv = get_backend("statevector").run(qc, shots=50, seed=1).result()
+        dm = get_backend("density_matrix").run(qc, shots=50, seed=1).result()
+        assert sv.get_counts() == dm.get_counts() == {"110": 50}
+
+    def test_gate_noise_option(self):
+        backend = get_backend(
+            "density_matrix", seed=0, gate_noise={1: depolarizing_kraus(0.2), 2: depolarizing_kraus(0.2)}
+        )
+        counts = backend.run(bell_circuit(), shots=2000, seed=0).result().get_counts()
+        correlated = counts.get("00", 0) + counts.get("11", 0)
+        assert 0.6 < correlated / 2000 < 0.98  # noise visibly degrades the Bell pair
+
+    def test_mid_circuit_measurement_per_shot(self):
+        result = get_backend("density_matrix").run(midcircuit_circuit(), shots=60, seed=2).result()
+        assert result[0].metadata["method"] == "per_shot"
+        assert sum(result[0].counts.values()) == 60
+        assert set(result[0].counts) <= {"01", "10"}
+
+
+class TestResolveBackend:
+    def test_default_builds_seeded_statevector(self):
+        backend = resolve_backend(None, None, default_seed=44)
+        assert isinstance(backend, StatevectorBackend)
+        a = backend.run(bell_circuit(), shots=64).result().get_counts()
+        b = StatevectorSimulator(seed=44).run(bell_circuit(), shots=64).counts
+        assert a == b
+
+    def test_wraps_legacy_simulator(self):
+        engine = StatevectorSimulator(seed=3)
+        backend = resolve_backend(None, engine, default_seed=0)
+        counts = backend.run(bell_circuit(), shots=64).result().get_counts()
+        assert counts == StatevectorSimulator(seed=3).run(bell_circuit(), shots=64).counts
+
+    def test_name_resolution(self):
+        assert isinstance(resolve_backend("density_matrix"), DensityMatrixBackend)
+
+    def test_name_resolution_keeps_default_seed(self):
+        a = resolve_backend("statevector", default_seed=44)
+        b = StatevectorSimulator(seed=44)
+        assert a.run(bell_circuit(), shots=64).result().get_counts() == b.run(
+            bell_circuit(), shots=64
+        ).counts
+
+    def test_driver_seed_reaches_named_backend(self):
+        from repro.algorithms.minimum_finding import find_minimum
+
+        first = find_minimum([9, 4, 7, 2], seed=5, backend="statevector")
+        second = find_minimum([9, 4, 7, 2], seed=5, backend="statevector")
+        assert (first.value, first.index, first.grover_rounds) == (
+            second.value,
+            second.index,
+            second.grover_rounds,
+        )
+
+    def test_both_rejected(self):
+        with pytest.raises(BackendError, match="not both"):
+            resolve_backend(StatevectorBackend(), StatevectorSimulator())
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(BackendError, match="cannot use"):
+            resolve_backend(42)
+
+
+class TestDriverIntegration:
+    def test_grover_on_density_backend(self):
+        from repro.algorithms import grover_search
+
+        result = grover_search([5], 3, shots=256, backend="density_matrix")
+        assert result.found and result.value == 5
+
+    def test_simon_batched(self):
+        from repro.algorithms.simon import run_simon
+
+        result = run_simon(3, 0b101, backend=get_backend("statevector", seed=33), batch_size=4)
+        assert result.success
+        assert result.recovered == 0b101
+
+    def test_minimum_finding_backend_param(self):
+        from repro.algorithms.minimum_finding import find_minimum
+
+        result = find_minimum([9, 4, 7, 2], seed=5, backend=get_backend("statevector", seed=5))
+        assert result.value == 2

@@ -163,6 +163,63 @@ class TestDensityMatrixSimulator:
         with pytest.raises(SimulationError):
             DensityMatrixSimulator(seed=0).run_counts(qc)
 
+    def test_run_returns_unified_result(self):
+        qc = QuantumCircuit(2, 2)
+        qc.h(0).cx(0, 1)
+        qc.measure([0, 1], [0, 1])
+        result = DensityMatrixSimulator(seed=0).run(qc, shots=300)
+        assert set(result.counts) <= {"00", "11"}
+        assert sum(result.counts.values()) == 300
+        assert result.shots == 300
+        assert result.density_matrix is not None
+        assert result.density_matrix.purity() == pytest.approx(1.0)
+
+    def test_run_matches_statevector_counts_noiseless(self):
+        # regression for the historic inconsistency: int-keyed counts with
+        # no Result object -- both engines must now produce the *same*
+        # MSB-first bitstring histogram for the same seed
+        qc = QuantumCircuit(2, 2)
+        qc.h(0).cx(0, 1)
+        qc.measure([0, 1], [0, 1])
+        dm = DensityMatrixSimulator(seed=7).run(qc, shots=400)
+        sv = StatevectorSimulator(seed=7).run(qc, shots=400)
+        assert dm.counts == sv.counts
+
+    def test_run_seed_override_is_reproducible(self):
+        qc = QuantumCircuit(1, 1)
+        qc.h(0)
+        qc.measure(0, 0)
+        sim = DensityMatrixSimulator(seed=0)
+        first = sim.run(qc, shots=100, seed=5).counts
+        second = sim.run(qc, shots=100, seed=5).counts
+        assert first == second
+
+    def test_run_memory(self):
+        qc = QuantumCircuit(1, 1)
+        qc.x(0)
+        qc.measure(0, 0)
+        result = DensityMatrixSimulator(seed=0).run(qc, shots=10, memory=True)
+        assert result.memory == ["1"] * 10
+
+    def test_run_per_shot_with_mid_circuit_measurement(self):
+        qc = QuantumCircuit(2, 2)
+        qc.h(0)
+        qc.measure(0, 0)
+        qc.cx(0, 1)  # acts after the measurement -> per-shot collapse path
+        qc.measure(1, 1)
+        result = DensityMatrixSimulator(seed=1).run(qc, shots=80)
+        assert set(result.counts) <= {"00", "11"}  # the two qubits always agree
+        assert sum(result.counts.values()) == 80
+        assert result.density_matrix is None
+
+    def test_run_counts_is_a_shim_over_run(self):
+        qc = QuantumCircuit(2, 2)
+        qc.h(0).cx(0, 1)
+        qc.measure([0, 1], [0, 1])
+        shim = DensityMatrixSimulator(seed=4).run_counts(qc, shots=200)
+        full = DensityMatrixSimulator(seed=4).run(qc, shots=200).int_counts()
+        assert shim == full
+
     def test_reset_in_circuit(self):
         qc = QuantumCircuit(1)
         qc.x(0).reset(0)

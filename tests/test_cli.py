@@ -84,3 +84,24 @@ class TestMain:
         main([str(path), "--seed", "9"])
         second = capsys.readouterr().out
         assert first == second
+
+
+class TestBackendSelection:
+    def test_list_backends(self, capsys):
+        assert main(["--list-backends"]) == 0
+        out = capsys.readouterr().out
+        assert "statevector" in out and "density_matrix" in out
+
+    @pytest.mark.parametrize("backend", ["statevector", "density_matrix"])
+    def test_runs_program_on_backend(self, program_file, capsys, backend):
+        assert main([program_file, "--seed", "1", "--backend", backend]) == 0
+        assert "8" in capsys.readouterr().out
+
+    def test_unknown_backend_fails_cleanly(self, program_file, capsys):
+        assert main([program_file, "--backend", "warp_drive"]) == 1
+        assert "unknown backend" in capsys.readouterr().err
+
+    def test_program_required_without_list_backends(self, capsys):
+        with pytest.raises(SystemExit):
+            main([])
+        assert "program argument is required" in capsys.readouterr().err
