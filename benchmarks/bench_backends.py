@@ -35,6 +35,8 @@ from repro.qsim import QuantumCircuit
 from repro.qsim.backends import get_backend
 from repro.qsim.instruction import Gate
 
+from benchutil import add_out_argument, write_results
+
 #: 1q/2q gates the multi-circuit workloads actually emit
 GATE_POOL = [
     ("h", 1, 0), ("x", 1, 0), ("z", 1, 0), ("s", 1, 0), ("t", 1, 0),
@@ -72,6 +74,7 @@ def main(argv: List[str] | None = None) -> int:
     parser.add_argument("--executor", choices=("process", "thread"), default="process")
     parser.add_argument("--repeats", type=int, default=2, help="timing repeats (best is kept)")
     parser.add_argument("--seed", type=int, default=2026)
+    add_out_argument(parser)
     args = parser.parse_args(argv)
 
     worker_counts = [int(w) for w in args.workers.split(",") if w.strip()]
@@ -109,6 +112,21 @@ def main(argv: List[str] | None = None) -> int:
         print(f"{label:<12} {elapsed * 1000.0:>10.1f} {serial_time / elapsed:>8.2f}x "
               f"{args.circuits / elapsed:>11.1f}")
     print("equivalence: all parallel dispatch modes match serial counts exactly")
+
+    write_results(
+        args.out,
+        "backends",
+        {"circuits": args.circuits, "qubits": args.qubits, "gates": args.gates,
+         "shots": args.shots, "executor": args.executor, "repeats": args.repeats,
+         "seed": args.seed},
+        [
+            {"workers": workers if workers is not None else 0,
+             "dispatch": "serial" if workers is None else f"{workers} workers",
+             "time_ms": elapsed * 1000.0,
+             "speedup": serial_time / elapsed}
+            for workers, elapsed in rows
+        ],
+    )
     return 0
 
 

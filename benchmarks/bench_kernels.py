@@ -37,6 +37,8 @@ from repro.qsim import kernels
 from repro.qsim.fusion import fuse_gates, fusion_summary
 from repro.qsim.instruction import Gate
 
+from benchutil import add_out_argument, write_results
+
 ATOL = 1e-10
 
 #: (name, arity, number of parameters) -- every 1q/2q registry gate the
@@ -108,6 +110,7 @@ def main(argv: List[str] | None = None) -> int:
     parser.add_argument("--seed", type=int, default=2025)
     parser.add_argument("--max-fused-qubits", type=int, default=4,
                         help="fusion budget (default matches StatevectorSimulator)")
+    add_out_argument(parser)
     args = parser.parse_args(argv)
 
     circuit = random_circuit(args.qubits, args.gates, args.seed)
@@ -139,6 +142,20 @@ def main(argv: List[str] | None = None) -> int:
     print(f"{'strategy':<10} {'time (ms)':>10} {'speedup':>9}")
     for label, elapsed in (("generic", t_generic), ("kernels", t_kernels), ("fused", t_fused)):
         print(f"{label:<10} {elapsed * 1000.0:>10.2f} {t_generic / elapsed:>8.2f}x")
+
+    write_results(
+        args.out,
+        "kernels",
+        {"qubits": args.qubits, "gates": args.gates, "repeats": args.repeats,
+         "seed": args.seed, "max_fused_qubits": args.max_fused_qubits},
+        [
+            {"strategy": label, "time_ms": elapsed * 1000.0,
+             "speedup": t_generic / elapsed}
+            for label, elapsed in
+            (("generic", t_generic), ("kernels", t_kernels), ("fused", t_fused))
+        ],
+        fusion=summary,
+    )
 
     # acceptance target: the engine's fast path (kernels + fusion, what
     # StatevectorSimulator runs by default) must beat the generic path >= 2x

@@ -1,0 +1,173 @@
+#!/usr/bin/env python3
+"""Asymptotic benchmark: stabilizer tableau engine vs the dense statevector.
+
+Builds GHZ-plus-random-Clifford-layer circuits (H/S/X/Z single-qubit layer +
+a random CX matching, repeated) with a full terminal measurement and runs
+them end-to-end through ``get_backend(...).run(...)``:
+
+* the **statevector** engine on small registers, where its ``O(2^n)`` cost
+  curve is already visible,
+* the **stabilizer** engine on the same small registers *and* on registers
+  far past the dense engines' wall (hundreds of qubits), where the CHP
+  tableau's ``O(n^2)``-per-measurement / ``O(n)``-per-gate cost keeps runs
+  in the milliseconds.
+
+Before any timing, the two engines are cross-checked on the smallest size:
+a plain GHZ circuit must produce exactly the two keys ``0...0`` / ``1...1``
+on both, and their mixed-layer counts must agree within a total-variation
+tolerance (they sample the same distribution with different RNG paths).
+
+The acceptance target for this repo: the headline size (default 200 qubits,
+well past ``--require-qubits 100``) must complete all shots in under one
+second wall-clock.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_stabilizer.py
+    PYTHONPATH=src python benchmarks/bench_stabilizer.py --sizes 100,200,400 --shots 128
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from typing import Dict, List
+
+import numpy as np
+
+from repro.qsim import QuantumCircuit
+from repro.qsim.backends import get_backend
+
+from benchutil import add_out_argument, write_results
+
+#: the single-qubit Clifford layer draws uniformly from these
+LAYER_GATES = ("h", "s", "x", "z", "sdg", "y")
+
+
+def ghz_clifford_circuit(num_qubits: int, layers: int, seed: int) -> QuantumCircuit:
+    """GHZ ladder followed by *layers* of random 1q Cliffords + a CX matching."""
+    rng = np.random.default_rng(seed)
+    qc = QuantumCircuit(num_qubits, num_qubits)
+    qc.name = f"ghz_clifford_{num_qubits}"
+    qc.h(0)
+    for i in range(1, num_qubits):
+        qc.cx(i - 1, i)
+    for _ in range(layers):
+        for q in range(num_qubits):
+            getattr(qc, LAYER_GATES[rng.integers(len(LAYER_GATES))])(q)
+        order = rng.permutation(num_qubits)
+        for a, b in zip(order[::2], order[1::2]):
+            qc.cx(int(a), int(b))
+    qc.measure(list(range(num_qubits)), list(range(num_qubits)))
+    return qc
+
+
+def run_once(backend_name: str, circuit: QuantumCircuit, shots: int, seed: int) -> Dict[str, int]:
+    return get_backend(backend_name).run(circuit, shots=shots, seed=seed).result().get_counts()
+
+
+def total_variation(a: Dict[str, int], b: Dict[str, int], shots: int) -> float:
+    keys = set(a) | set(b)
+    return 0.5 * sum(abs(a.get(k, 0) - b.get(k, 0)) for k in keys) / shots
+
+
+def check_equivalence(num_qubits: int, layers: int, shots: int, seed: int) -> bool:
+    """Cross-engine sanity gate run before any timing is reported."""
+    ghz = QuantumCircuit(num_qubits, num_qubits)
+    ghz.h(0)
+    for i in range(1, num_qubits):
+        ghz.cx(i - 1, i)
+    ghz.measure(list(range(num_qubits)), list(range(num_qubits)))
+    expected = {"0" * num_qubits, "1" * num_qubits}
+    for name in ("stabilizer", "statevector"):
+        keys = set(run_once(name, ghz, shots, seed))
+        if not keys <= expected:
+            print(f"FAIL: {name} GHZ produced unexpected keys {sorted(keys - expected)[:3]}")
+            return False
+    mixed = ghz_clifford_circuit(num_qubits, layers, seed)
+    counts_stab = run_once("stabilizer", mixed, shots, seed)
+    counts_sv = run_once("statevector", mixed, shots, seed)
+    tvd = total_variation(counts_stab, counts_sv, shots)
+    # both engines are fair samplers of the same distribution, so the TVD of
+    # two K-category empirical histograms concentrates near sqrt(2K/(pi N));
+    # allow a 3x margin before declaring divergence
+    support = len(set(counts_stab) | set(counts_sv))
+    limit = max(0.05, 3.0 * np.sqrt(2.0 * support / (np.pi * shots)))
+    if tvd > limit:
+        print(f"FAIL: cross-engine total variation {tvd:.3f} exceeds {limit:.3f}")
+        return False
+    print(f"equivalence: GHZ keys exact on both engines; mixed-layer TVD {tvd:.3f}")
+    return True
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--sizes", type=str, default="50,100,200,400",
+                        help="comma-separated stabilizer register widths")
+    parser.add_argument("--sv-sizes", type=str, default="8,12,16,18",
+                        help="comma-separated statevector register widths")
+    parser.add_argument("--layers", type=int, default=4, help="random Clifford layers")
+    parser.add_argument("--shots", type=int, default=256)
+    parser.add_argument("--repeats", type=int, default=3, help="timing repeats (best is kept)")
+    parser.add_argument("--seed", type=int, default=2026)
+    parser.add_argument("--check-qubits", type=int, default=6,
+                        help="register width of the cross-engine equivalence gate")
+    parser.add_argument("--require-qubits", type=int, default=100,
+                        help="a stabilizer run at least this wide must finish <1s")
+    add_out_argument(parser)
+    args = parser.parse_args(argv)
+
+    if not check_equivalence(args.check_qubits, args.layers, max(args.shots, 2000), args.seed):
+        return 1
+
+    sizes = [int(s) for s in args.sizes.split(",") if s.strip()]
+    sv_sizes = [int(s) for s in args.sv_sizes.split(",") if s.strip()]
+
+    rows = []
+    print(f"\nGHZ + {args.layers} random Clifford layers, {args.shots} shots, "
+          f"best of {args.repeats}")
+    print(f"{'engine':<12} {'qubits':>7} {'gates':>7} {'time (ms)':>10}")
+    for backend_name, widths in (("statevector", sv_sizes), ("stabilizer", sizes)):
+        for num_qubits in widths:
+            circuit = ghz_clifford_circuit(num_qubits, args.layers, args.seed)
+            best = float("inf")
+            for _ in range(args.repeats):
+                start = time.perf_counter()
+                run_once(backend_name, circuit, args.shots, args.seed)
+                best = min(best, time.perf_counter() - start)
+            rows.append({
+                "engine": backend_name,
+                "qubits": num_qubits,
+                "gates": circuit.size(),
+                "time_ms": best * 1000.0,
+            })
+            print(f"{backend_name:<12} {num_qubits:>7} {circuit.size():>7} {best * 1000.0:>10.1f}")
+
+    write_results(
+        args.out,
+        "stabilizer",
+        {"sizes": sizes, "sv_sizes": sv_sizes, "layers": args.layers,
+         "shots": args.shots, "repeats": args.repeats, "seed": args.seed},
+        rows,
+    )
+
+    # acceptance: a >=require-qubits Clifford circuit end-to-end in under 1 s
+    headline = [r for r in rows
+                if r["engine"] == "stabilizer" and r["qubits"] >= args.require_qubits]
+    if not headline:
+        print(f"WARNING: no stabilizer size >= {args.require_qubits} was benchmarked")
+        return 1
+    slowest = max(r["time_ms"] for r in headline)
+    if slowest >= 1000.0:
+        print(f"WARNING: {args.require_qubits}+ qubit stabilizer run took "
+              f"{slowest:.0f} ms (>= 1 s acceptance bound)")
+        return 1
+    widest = max(r["qubits"] for r in headline)
+    print(f"\nacceptance: {widest}-qubit Clifford circuit end-to-end in "
+          f"{slowest:.1f} ms (< 1 s) -- a register width the dense engines "
+          "cannot represent at all")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -29,6 +29,7 @@ __all__ = [
     "entanglement_swapping_chain",
     "run_entanglement_propagation",
     "EntanglementPropagationResult",
+    "sample_ghz",
 ]
 
 
@@ -106,6 +107,28 @@ def entanglement_swapping_chain(num_qubits: int) -> QuantumCircuit:
             qc.h(reg[j])
             qc.measure([reg[j], reg[j + 1]], [creg[2 * idx], creg[2 * idx + 1]])
     return qc
+
+
+def sample_ghz(
+    num_qubits: int,
+    shots: int = 1024,
+    backend=None,
+    seed: Optional[int] = 2024,
+):
+    """Measure a *num_qubits* GHZ state on a backend and return its counts.
+
+    ``backend=`` accepts a :class:`~repro.qsim.backends.Backend` instance or
+    registry name.  The GHZ circuit is pure Clifford, so
+    ``backend="stabilizer"`` samples hundreds of qubits in milliseconds
+    where the dense engines hit their exponential wall; a perfect backend
+    returns only the two keys ``0...0`` and ``1...1``.
+    """
+    from ..qsim.backends import resolve_backend
+
+    resolved = resolve_backend(backend, None, default_seed=seed)
+    circuit = ghz_circuit(num_qubits)
+    circuit.measure_all()
+    return resolved.run(circuit, shots=shots).result().get_counts()
 
 
 @dataclass

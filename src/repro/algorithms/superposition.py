@@ -8,7 +8,7 @@ amplitude vectors and the corresponding circuit instructions.
 from __future__ import annotations
 
 import math
-from typing import Iterable, Sequence
+from typing import Iterable, Optional, Sequence
 
 import numpy as np
 
@@ -19,6 +19,7 @@ __all__ = [
     "amplitudes_for_values",
     "build_value_superposition",
     "build_uniform_superposition",
+    "sample_uniform_superposition",
 ]
 
 
@@ -63,3 +64,27 @@ def build_uniform_superposition(circuit: QuantumCircuit, qubits: Sequence) -> Qu
     for qubit in qubits:
         circuit.h(qubit)
     return circuit
+
+
+def sample_uniform_superposition(
+    num_qubits: int,
+    shots: int = 1024,
+    backend=None,
+    seed: Optional[int] = None,
+):
+    """Measure the uniform superposition on a backend and return its counts.
+
+    ``backend=`` accepts a :class:`~repro.qsim.backends.Backend` instance or
+    registry name; the circuit is a layer of Hadamards, so it is Clifford
+    and ``backend="stabilizer"`` handles register widths far beyond the
+    dense engines (each shot is an independent uniform bitstring).
+    """
+    from ..qsim.backends import resolve_backend
+
+    if num_qubits < 1:
+        raise CircuitError("sampling needs at least one qubit")
+    resolved = resolve_backend(backend, None, default_seed=seed)
+    circuit = QuantumCircuit(num_qubits, name=f"uniform_{num_qubits}")
+    build_uniform_superposition(circuit, list(range(num_qubits)))
+    circuit.measure_all()
+    return resolved.run(circuit, shots=shots).result().get_counts()

@@ -11,6 +11,8 @@ implementation with a self-contained, NumPy-based stack:
 * :mod:`repro.qsim.kernels` -- specialized in-place gate kernels + dispatch,
 * :mod:`repro.qsim.fusion` -- gate fusion (adjacent gates -> one unitary),
 * :mod:`repro.qsim.simulator` -- the statevector execution engine,
+* :mod:`repro.qsim.stabilizer` -- the CHP stabilizer (Clifford) engine,
+  polynomial-time tableau simulation for 100+ qubit Clifford circuits,
 * :mod:`repro.qsim.backends` -- the unified Backend/Job/Result execution
   API with batched, parallel dispatch over every engine,
 * :mod:`repro.qsim.transpiler` -- decomposition and analysis passes,
@@ -33,7 +35,8 @@ from .instruction import (
 from .circuit import CircuitInstruction, QuantumCircuit
 from .statevector import Statevector
 from .simulator import Result, StatevectorSimulator
-from .transpiler import count_ops, decompose, circuit_depth, transpile
+from .stabilizer import StabilizerSimulator, StabilizerTableau
+from .transpiler import count_ops, decompose, circuit_depth, is_clifford, transpile
 from .optimizer import optimize, optimization_summary
 from .fusion import fuse_gates, fusion_summary
 from .qasm import to_qasm
@@ -77,10 +80,13 @@ __all__ = [
     "CircuitInstruction",
     "Statevector",
     "StatevectorSimulator",
+    "StabilizerSimulator",
+    "StabilizerTableau",
     "Result",
     "count_ops",
     "decompose",
     "circuit_depth",
+    "is_clifford",
     "transpile",
     "optimize",
     "optimization_summary",

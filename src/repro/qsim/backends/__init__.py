@@ -18,8 +18,8 @@ One stable contract over every simulation engine::
   :class:`ExperimentResult` (bitstring counts, probabilities, optional
   state, timing metadata),
 * :mod:`~repro.qsim.backends.engines` -- :class:`StatevectorBackend`,
-  :class:`DensityMatrixBackend` and the driver helper
-  :func:`resolve_backend`,
+  :class:`DensityMatrixBackend`, :class:`StabilizerBackend` and the driver
+  helper :func:`resolve_backend`,
 * :mod:`~repro.qsim.backends.registry` -- :func:`get_backend`,
   :func:`list_backends`, :func:`register_backend`.
 
@@ -30,7 +30,12 @@ a third-party engine.
 from .backend import Backend
 from .job import Job, JobStatus
 from .result import ExperimentResult, Result
-from .engines import DensityMatrixBackend, StatevectorBackend, resolve_backend
+from .engines import (
+    DensityMatrixBackend,
+    StabilizerBackend,
+    StatevectorBackend,
+    resolve_backend,
+)
 from .registry import get_backend, list_backends, register_backend
 
 __all__ = [
@@ -41,6 +46,7 @@ __all__ = [
     "Result",
     "StatevectorBackend",
     "DensityMatrixBackend",
+    "StabilizerBackend",
     "resolve_backend",
     "get_backend",
     "list_backends",

@@ -1,8 +1,9 @@
-"""The built-in backends: statevector and density matrix.
+"""The built-in backends: statevector, density matrix and stabilizer.
 
-Both are thin adapters: the heavy lifting stays in
-:class:`~repro.qsim.simulator.StatevectorSimulator` and
-:class:`~repro.qsim.density.DensityMatrixSimulator`; the backend classes
+All are thin adapters: the heavy lifting stays in
+:class:`~repro.qsim.simulator.StatevectorSimulator`,
+:class:`~repro.qsim.density.DensityMatrixSimulator` and
+:class:`~repro.qsim.stabilizer.StabilizerSimulator`; the backend classes
 translate the unified ``run`` contract (per-experiment seeds, batching,
 memory, timing) onto those engines and wrap their legacy results into
 :class:`~repro.qsim.backends.result.ExperimentResult`.
@@ -23,17 +24,23 @@ import numpy as np
 
 from ..circuit import QuantumCircuit
 from ..density import DensityMatrixSimulator
-from ..exceptions import BackendError
+from ..exceptions import BackendError, SimulationError
 from ..simulator import (
     SIMULATOR_MAX_FUSED_QUBITS,
     Result as EngineResult,
     StatevectorSimulator,
     measurements_are_final,
 )
+from ..stabilizer import StabilizerSimulator
 from .backend import Backend
 from .result import ExperimentResult
 
-__all__ = ["StatevectorBackend", "DensityMatrixBackend", "resolve_backend"]
+__all__ = [
+    "StatevectorBackend",
+    "DensityMatrixBackend",
+    "StabilizerBackend",
+    "resolve_backend",
+]
 
 #: the per-shot collapse path is split into this many deterministic chunks
 #: (each with a seed spawned from the experiment seed), so the merged counts
@@ -214,6 +221,45 @@ class DensityMatrixBackend(Backend):
         engine_result = engine.run(circuit, shots=shots, memory=memory)
         method = "sampled" if measurements_are_final(circuit) else "per_shot"
         return _wrap(circuit, engine_result, shots, seed, started, {"method": method})
+
+
+class StabilizerBackend(Backend):
+    """Polynomial-time Clifford execution behind the unified backend API.
+
+    Wraps :class:`~repro.qsim.stabilizer.StabilizerSimulator` (CHP tableau
+    with deferred affine sampling), so Clifford circuits on hundreds of
+    qubits run in milliseconds.  Submitting a non-Clifford circuit raises a
+    clean :class:`BackendError` naming the offending instruction; use
+    :func:`repro.qsim.transpiler.is_clifford` to pre-check.
+    """
+
+    name = "stabilizer"
+
+    def __init__(
+        self,
+        seed: Optional[int] = None,
+        simulator: Optional[StabilizerSimulator] = None,
+    ):
+        super().__init__(seed)
+        self._engine = simulator if simulator is not None else StabilizerSimulator(seed=seed)
+
+    def _run_experiment(
+        self,
+        circuit: QuantumCircuit,
+        shots: int,
+        seed: Optional[int],
+        memory: bool,
+        **options: Any,
+    ) -> ExperimentResult:
+        if options:
+            raise BackendError(f"unknown run options {sorted(options)} for {self.name!r}")
+        started = time.perf_counter()
+        engine = self._engine if seed is None else StabilizerSimulator(seed=seed)
+        try:
+            engine_result = engine.run(circuit, shots=shots, memory=memory)
+        except SimulationError as exc:
+            raise BackendError(str(exc)) from exc
+        return _wrap(circuit, engine_result, shots, seed, started, {"method": "stabilizer"})
 
 
 def resolve_backend(

@@ -13,7 +13,7 @@ from typing import Callable, Dict, List
 
 from ..exceptions import BackendError
 from .backend import Backend
-from .engines import DensityMatrixBackend, StatevectorBackend
+from .engines import DensityMatrixBackend, StabilizerBackend, StatevectorBackend
 
 __all__ = ["register_backend", "get_backend", "list_backends"]
 
@@ -55,8 +55,10 @@ def get_backend(name: str, **options) -> Backend:
     key = _ALIASES.get(key, key)
     factory = _REGISTRY.get(key)
     if factory is None:
+        aliases = ", ".join(sorted(_ALIASES))
         raise BackendError(
             f"unknown backend {name!r}; available: {', '.join(list_backends())}"
+            + (f" (aliases: {aliases})" if aliases else "")
         )
     backend = factory(**options)
     if not isinstance(backend, Backend):
@@ -76,3 +78,4 @@ def list_backends(include_aliases: bool = False) -> List[str]:
 
 register_backend(StatevectorBackend.name, StatevectorBackend, aliases=("sv",))
 register_backend(DensityMatrixBackend.name, DensityMatrixBackend, aliases=("dm", "density"))
+register_backend(StabilizerBackend.name, StabilizerBackend, aliases=("chp", "clifford"))

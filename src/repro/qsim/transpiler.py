@@ -4,20 +4,35 @@ The reproduction does not need a full transpiler; it needs just enough to
 (a) report hardware-meaningful gate counts and depths for the benchmark
 figures, (b) lower the handful of composite gates (multi-controlled X/Z,
 SWAP, Toffoli) to a {1-qubit, CX} basis so those metrics are comparable to
-what the paper's Qiskit backend would report, and (c) offer
+what the paper's Qiskit backend would report, (c) offer
 :func:`transpile`, the one-call pipeline that prepares a circuit for the
-simulator (peephole optimisation, then gate fusion at the highest level).
+simulator (peephole optimisation, then gate fusion at the highest level),
+and (d) the Clifford-detection pass (:func:`is_clifford`,
+:func:`clifford_sequence`, :func:`pauli_conjugation_table`) that routes
+circuits onto the polynomial-time stabilizer engine.
 """
 
 from __future__ import annotations
 
+import functools
 import math
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from .circuit import CircuitInstruction, QuantumCircuit
 from .exceptions import CircuitError
 from .fusion import DEFAULT_MAX_FUSED_QUBITS
-from .instruction import Barrier, ControlledGate, Gate, Initialize, Instruction, Measure, Reset
+from .instruction import (
+    Barrier,
+    ControlledGate,
+    Gate,
+    Initialize,
+    Instruction,
+    Measure,
+    Reset,
+    UnitaryGate,
+)
 from .optimizer import optimize
 from .registers import QuantumRegister
 
@@ -28,6 +43,10 @@ __all__ = [
     "circuit_depth",
     "basis_gate_count",
     "two_qubit_gate_count",
+    "is_clifford",
+    "clifford_sequence",
+    "pauli_conjugation_table",
+    "MAX_CLIFFORD_TABLE_QUBITS",
 ]
 
 
@@ -251,3 +270,247 @@ def _lower_mcx(out: QuantumCircuit, controls: Sequence, target, ancillas: Sequen
     _lower_toffoli(out, controls[k - 1], work[needed - 1], target)
     for c1, c2, t in reversed(chain):
         _lower_toffoli(out, c1, c2, t)
+
+
+# ---------------------------------------------------------------------------
+# Clifford detection and decomposition
+# ---------------------------------------------------------------------------
+
+#: largest unitary block (in qubits) the matrix-based Clifford check will
+#: analyse; covers every fused block the fusion pass emits (budget <= 4)
+MAX_CLIFFORD_TABLE_QUBITS = 4
+
+#: the generator set the stabilizer tableau implements natively
+_CLIFFORD_GENERATORS = ("x", "y", "z", "h", "s", "sdg", "cx", "cz", "swap")
+
+#: entries are application-ordered: the first tuple is applied first
+CliffordSequence = List[Tuple[str, Tuple[int, ...]]]
+
+_FIXED_CLIFFORD_SEQUENCES: Dict[str, CliffordSequence] = {
+    "id": [],
+    "x": [("x", (0,))],
+    "y": [("y", (0,))],
+    "z": [("z", (0,))],
+    "h": [("h", (0,))],
+    "s": [("s", (0,))],
+    "sdg": [("sdg", (0,))],
+    # SX = H S H exactly (no global phase)
+    "sx": [("h", (0,)), ("s", (0,)), ("h", (0,))],
+    "cx": [("cx", (0, 1))],
+    "cz": [("cz", (0, 1))],
+    "swap": [("swap", (0, 1))],
+    # CY = (I (x) S) CX (I (x) Sdg)
+    "cy": [("sdg", (1,)), ("cx", (0, 1)), ("s", (1,))],
+    # ISWAP = SWAP . CZ . (S (x) S); all three factors commute pairwise
+    "iswap": [("s", (0,)), ("s", (1,)), ("cz", (0, 1)), ("swap", (0, 1))],
+}
+
+#: rotation-gate sequences keyed by the number of quarter turns (mod 4);
+#: a missing key (e.g. cp at one quarter turn, the CS gate) is not Clifford
+_ROTATION_CLIFFORD_SEQUENCES: Dict[str, Dict[int, CliffordSequence]] = {
+    "rz": {0: [], 1: [("s", (0,))], 2: [("z", (0,))], 3: [("sdg", (0,))]},
+    "p": {0: [], 1: [("s", (0,))], 2: [("z", (0,))], 3: [("sdg", (0,))]},
+    "rx": {
+        0: [],
+        1: [("h", (0,)), ("s", (0,)), ("h", (0,))],
+        2: [("x", (0,))],
+        3: [("h", (0,)), ("sdg", (0,)), ("h", (0,))],
+    },
+    "ry": {
+        0: [],
+        1: [("h", (0,)), ("x", (0,))],
+        2: [("y", (0,))],
+        3: [("x", (0,)), ("h", (0,))],
+    },
+    "cp": {0: [], 2: [("cz", (0, 1))]},
+}
+
+
+def _quarter_turns(theta: float, atol: float = 1e-9) -> Optional[int]:
+    """*theta* as a whole number of pi/2 turns (mod 4), or ``None``."""
+    k = round(theta * 2.0 / math.pi)
+    if abs(theta - k * (math.pi / 2.0)) > atol:
+        return None
+    return int(k % 4)
+
+
+def clifford_sequence(op: Instruction) -> Optional[CliffordSequence]:
+    """Decompose *op* into stabilizer-native Clifford generators by name.
+
+    Returns a list of ``(gate_name, local_qubit_indices)`` pairs drawn from
+    the tableau's native set (H, S, Sdg, X, Y, Z, CX, CZ, SWAP) in
+    application order, or ``None`` when the gate is not recognised as
+    Clifford by name (rotation gates are snapped to multiples of pi/2; an
+    off-grid angle returns ``None``).  Explicit :class:`UnitaryGate` blocks
+    are never matched by name — use :func:`pauli_conjugation_table` on their
+    matrix instead.
+    """
+    if isinstance(op, UnitaryGate) or not op.is_unitary:
+        return None
+    sequence = _FIXED_CLIFFORD_SEQUENCES.get(op.name)
+    if sequence is not None:
+        return list(sequence)
+    by_turns = _ROTATION_CLIFFORD_SEQUENCES.get(op.name)
+    if by_turns is not None and op.params:
+        k = _quarter_turns(op.params[0])
+        if k is None:
+            return None
+        sequence = by_turns.get(k)
+        return None if sequence is None else list(sequence)
+    return None
+
+
+@functools.lru_cache(maxsize=MAX_CLIFFORD_TABLE_QUBITS)
+def _local_pauli_basis(num_qubits: int) -> np.ndarray:
+    """All ``4**k`` literal Pauli products, indexed base-4 by per-qubit codes.
+
+    The per-qubit code is ``2x + z`` (0 -> I, 1 -> Z, 2 -> X, 3 -> Y) and the
+    first qubit owns the most significant code digit, matching the matrix
+    index convention of :mod:`repro.qsim.gates`.
+    """
+    single = np.array(
+        [
+            [[1, 0], [0, 1]],      # I
+            [[1, 0], [0, -1]],     # Z
+            [[0, 1], [1, 0]],      # X
+            [[0, -1j], [1j, 0]],   # Y
+        ],
+        dtype=complex,
+    )
+    basis = single
+    for _ in range(num_qubits - 1):
+        basis = np.einsum("aij,bkl->abikjl", basis, single).reshape(
+            basis.shape[0] * 4, basis.shape[1] * 2, basis.shape[2] * 2
+        )
+    return basis
+
+
+def pauli_conjugation_table(
+    matrix: np.ndarray, atol: float = 1e-8
+) -> Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    """The symplectic action of *matrix* on the Pauli group, or ``None``.
+
+    Results are memoized on the matrix bytes: fused circuits repeat block
+    matrices, and the documented ``is_clifford()``-then-``run()`` pattern
+    analyses every block twice, so without the cache the matrix analysis
+    dominates fused-circuit execution.
+    """
+    matrix = np.ascontiguousarray(np.asarray(matrix, dtype=complex))
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        return None
+    return _pauli_conjugation_table_cached(matrix.shape[0], matrix.tobytes(), float(atol))
+
+
+@functools.lru_cache(maxsize=512)
+def _pauli_conjugation_table_cached(
+    dim: int, matrix_bytes: bytes, atol: float
+) -> Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    matrix = np.frombuffer(matrix_bytes, dtype=complex).reshape(dim, dim)
+    return _pauli_conjugation_table_impl(matrix, atol)
+
+
+def _pauli_conjugation_table_impl(
+    matrix: np.ndarray, atol: float
+) -> Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    """Uncached table construction; see :func:`pauli_conjugation_table`.
+
+    A unitary is Clifford exactly when it conjugates every Pauli product to
+    a single signed Pauli product.  For a ``k``-qubit unitary (``k <=``
+    :data:`MAX_CLIFFORD_TABLE_QUBITS`) this computes ``U P U^dag`` for all
+    ``4**k`` literal Pauli products ``P`` and returns three arrays indexed by
+    the base-4 Pauli code (per-qubit code ``2x + z``, first qubit most
+    significant):
+
+    * ``xtab[i]`` / ``ztab[i]`` — the image's x/z bits, bit ``j`` belonging
+      to qubit ``j`` of the gate,
+    * ``sign[i]`` — 1 when the image carries a minus sign.
+
+    This is how the stabilizer engine executes composite and fused gates
+    (e.g. anonymous ``UnitaryGate`` blocks produced by ``transpile(level=2)``)
+    without a generator-level resynthesis.  Returns ``None`` when *matrix*
+    is not Clifford (or too large to analyse).
+    """
+    matrix = np.asarray(matrix, dtype=complex)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        return None
+    dim = matrix.shape[0]
+    k = int(round(math.log2(dim)))
+    if 2**k != dim or k < 1 or k > MAX_CLIFFORD_TABLE_QUBITS:
+        return None
+    if not np.allclose(matrix.conj().T @ matrix, np.eye(dim), atol=atol):
+        return None
+
+    basis = _local_pauli_basis(k)
+    adjoint = matrix.conj().T
+    size = 4**k
+    xtab = np.zeros(size, dtype=np.uint8)
+    ztab = np.zeros(size, dtype=np.uint8)
+    sign = np.zeros(size, dtype=np.uint8)
+    for index in range(size):
+        image = matrix @ basis[index] @ adjoint
+        # Paulis are trace-orthogonal: coefficient of basis[j] is tr(P_j M)/dim
+        coefficients = np.einsum("aij,ji->a", basis, image) / dim
+        position = int(np.argmax(np.abs(coefficients)))
+        coefficient = coefficients[position]
+        if abs(abs(coefficient) - 1.0) > atol or abs(coefficient.imag) > atol:
+            return None
+        x_bits = 0
+        z_bits = 0
+        for qubit in range(k):
+            code = (position >> (2 * (k - 1 - qubit))) & 3
+            x_bits |= (code >> 1) << qubit
+            z_bits |= (code & 1) << qubit
+        xtab[index] = x_bits
+        ztab[index] = z_bits
+        sign[index] = 1 if coefficient.real < 0 else 0
+    return xtab, ztab, sign
+
+
+def _initialize_basis_value(op: Initialize) -> Optional[int]:
+    """The computational-basis value *op* prepares, or ``None`` if entangled."""
+    nonzero = np.nonzero(np.abs(op.statevector) > 1e-12)[0]
+    if nonzero.size != 1:
+        return None
+    return int(nonzero[0])
+
+
+def _clifford_classification(op: Instruction) -> Optional[Tuple[str, Any]]:
+    """How the stabilizer engine can execute *op*, or ``None`` if it cannot.
+
+    The single source of truth shared by :func:`is_clifford` and the
+    stabilizer engine's circuit compiler, so detection and execution can
+    never disagree.  Returns one of::
+
+        ("passthrough", None)        # barrier / measure / reset
+        ("initialize", basis_value)  # basis-state Initialize
+        ("sequence", clifford_seq)   # named generator decomposition
+        ("table", (xtab, ztab, sign))  # Pauli conjugation table
+    """
+    if isinstance(op, (Barrier, Measure, Reset)):
+        return ("passthrough", None)
+    if isinstance(op, Initialize):
+        value = _initialize_basis_value(op)
+        return None if value is None else ("initialize", value)
+    if not op.is_unitary:
+        return None
+    sequence = clifford_sequence(op)
+    if sequence is not None:
+        return ("sequence", sequence)
+    if op.num_qubits <= MAX_CLIFFORD_TABLE_QUBITS:
+        table = pauli_conjugation_table(op.to_matrix())
+        if table is not None:
+            return ("table", table)
+    return None
+
+
+def is_clifford(circuit: QuantumCircuit) -> bool:
+    """Whether every instruction of *circuit* has a stabilizer execution.
+
+    Barriers, measurements and resets always qualify; ``Initialize`` only
+    for computational-basis states; unitary gates qualify when
+    :func:`clifford_sequence` recognises them by name (with pi/2 angle
+    snapping for rotation gates) or, for explicit/fused unitary blocks up to
+    :data:`MAX_CLIFFORD_TABLE_QUBITS` qubits, when
+    :func:`pauli_conjugation_table` certifies the matrix as Clifford.
+    """
+    return all(_clifford_classification(instr.operation) is not None for instr in circuit.data)

@@ -73,6 +73,16 @@ class TestRegistry:
         with pytest.raises(BackendError, match="unknown backend"):
             get_backend("no_such_engine")
 
+    def test_unknown_name_lists_available_backends(self):
+        # the error must be actionable: every registered name (and the
+        # aliases) spelled out, exactly what list_backends() reports
+        with pytest.raises(BackendError) as excinfo:
+            get_backend("no_such_engine")
+        message = str(excinfo.value)
+        for name in list_backends():
+            assert name in message
+        assert "aliases" in message and "sv" in message
+
     def test_options_forwarded(self):
         backend = get_backend("statevector", seed=3)
         counts_a = backend.run(bell_circuit(), shots=100).result().get_counts()

@@ -91,6 +91,7 @@ class TestBackendSelection:
         assert main(["--list-backends"]) == 0
         out = capsys.readouterr().out
         assert "statevector" in out and "density_matrix" in out
+        assert "stabilizer" in out
 
     @pytest.mark.parametrize("backend", ["statevector", "density_matrix"])
     def test_runs_program_on_backend(self, program_file, capsys, backend):
