@@ -38,7 +38,7 @@ import numpy as np
 from repro.qsim import QuantumCircuit
 from repro.qsim.backends import get_backend
 
-from benchutil import add_out_argument, write_results
+from benchutil import add_out_argument, total_variation, write_results
 
 #: the single-qubit Clifford layer draws uniformly from these
 LAYER_GATES = ("h", "s", "x", "z", "sdg", "y")
@@ -66,11 +66,6 @@ def run_once(backend_name: str, circuit: QuantumCircuit, shots: int, seed: int) 
     return get_backend(backend_name).run(circuit, shots=shots, seed=seed).result().get_counts()
 
 
-def total_variation(a: Dict[str, int], b: Dict[str, int], shots: int) -> float:
-    keys = set(a) | set(b)
-    return 0.5 * sum(abs(a.get(k, 0) - b.get(k, 0)) for k in keys) / shots
-
-
 def check_equivalence(num_qubits: int, layers: int, shots: int, seed: int) -> bool:
     """Cross-engine sanity gate run before any timing is reported."""
     ghz = QuantumCircuit(num_qubits, num_qubits)
@@ -87,7 +82,7 @@ def check_equivalence(num_qubits: int, layers: int, shots: int, seed: int) -> bo
     mixed = ghz_clifford_circuit(num_qubits, layers, seed)
     counts_stab = run_once("stabilizer", mixed, shots, seed)
     counts_sv = run_once("statevector", mixed, shots, seed)
-    tvd = total_variation(counts_stab, counts_sv, shots)
+    tvd = total_variation(counts_stab, counts_sv)
     # both engines are fair samplers of the same distribution, so the TVD of
     # two K-category empirical histograms concentrates near sqrt(2K/(pi N));
     # allow a 3x margin before declaring divergence

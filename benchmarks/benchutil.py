@@ -19,6 +19,14 @@ import time
 from typing import Any, Dict, List, Optional
 
 
+def total_variation(a: Dict[str, float], b: Dict[str, float]) -> float:
+    """Total-variation distance of two histograms (each normalised by its total)."""
+    total_a = sum(a.values()) or 1
+    total_b = sum(b.values()) or 1
+    keys = set(a) | set(b)
+    return 0.5 * sum(abs(a.get(k, 0) / total_a - b.get(k, 0) / total_b) for k in keys)
+
+
 def add_out_argument(parser: argparse.ArgumentParser) -> None:
     """Attach the shared ``--out`` flag to *parser*."""
     parser.add_argument(

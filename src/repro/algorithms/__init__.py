@@ -49,6 +49,12 @@ from .bernstein_vazirani import (
     run_bernstein_vazirani,
 )
 from .teleportation import TeleportationResult, teleport_state, teleportation_circuit
+from .repetition_code import (
+    RepetitionCodeResult,
+    decode_majority,
+    repetition_code_circuit,
+    run_repetition_code,
+)
 from .simon import SimonResult, build_simon_oracle, run_simon, simon_circuit, solve_gf2
 from .minimum_finding import MinimumFindingResult, find_maximum, find_minimum
 
@@ -63,6 +69,10 @@ __all__ = [
     "TeleportationResult",
     "teleport_state",
     "teleportation_circuit",
+    "RepetitionCodeResult",
+    "decode_majority",
+    "repetition_code_circuit",
+    "run_repetition_code",
     "SimonResult",
     "build_simon_oracle",
     "run_simon",

@@ -12,7 +12,8 @@ import sys
 from typing import List, Optional
 
 from .lang import QutesError, run_file
-from .qsim.exceptions import BackendError
+from .qsim.backends import NOISE_CHANNELS, build_noisy_backend
+from .qsim.exceptions import BackendError, SimulationError
 from .qsim.qasm import to_qasm
 
 __all__ = ["main", "build_arg_parser"]
@@ -38,6 +39,21 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "--list-backends",
         action="store_true",
         help="print the registered execution backends and exit",
+    )
+    parser.add_argument(
+        "--noise",
+        type=float,
+        default=None,
+        metavar="P",
+        help="inject noise with probability P per qubit touched by each gate "
+        "into the selected backend (statevector and stabilizer take the "
+        "trajectory/Pauli-frame model, density_matrix the exact Kraus channel)",
+    )
+    parser.add_argument(
+        "--noise-model",
+        default="depolarizing",
+        choices=sorted(NOISE_CHANNELS),
+        help="noise channel used with --noise (default: depolarizing)",
     )
     parser.add_argument("--show-circuit", action="store_true", help="print the logged circuit")
     parser.add_argument("--qasm", action="store_true", help="print the OpenQASM 2.0 export")
@@ -72,12 +88,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         except QutesError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 1
+    backend = args.backend
     try:
-        result = run_file(args.program, shots=args.shots, seed=args.seed, backend=args.backend)
+        if args.noise is not None:
+            backend = build_noisy_backend(args.backend, args.noise, args.noise_model, args.seed)
+        result = run_file(args.program, shots=args.shots, seed=args.seed, backend=backend)
     except FileNotFoundError:
         print(f"error: no such file: {args.program}", file=sys.stderr)
         return 2
-    except (QutesError, BackendError) as exc:
+    except (QutesError, BackendError, SimulationError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
 

@@ -40,7 +40,7 @@ from .transpiler import count_ops, decompose, circuit_depth, is_clifford, transp
 from .optimizer import optimize, optimization_summary
 from .fusion import fuse_gates, fusion_summary
 from .qasm import to_qasm
-from .noise import BitFlipNoise, DepolarizingNoise
+from .noise import BitFlipNoise, DepolarizingNoise, NoiseModel, PhaseFlipNoise
 from .density import (
     DensityMatrix,
     DensityMatrixSimulator,
@@ -95,6 +95,8 @@ __all__ = [
     "to_qasm",
     "BitFlipNoise",
     "DepolarizingNoise",
+    "NoiseModel",
+    "PhaseFlipNoise",
     "DensityMatrix",
     "DensityMatrixSimulator",
     "bit_flip_kraus",

@@ -31,9 +31,11 @@ from .backend import Backend
 from .job import Job, JobStatus
 from .result import ExperimentResult, Result
 from .engines import (
+    NOISE_CHANNELS,
     DensityMatrixBackend,
     StabilizerBackend,
     StatevectorBackend,
+    build_noisy_backend,
     resolve_backend,
 )
 from .registry import get_backend, list_backends, register_backend
@@ -48,6 +50,8 @@ __all__ = [
     "DensityMatrixBackend",
     "StabilizerBackend",
     "resolve_backend",
+    "build_noisy_backend",
+    "NOISE_CHANNELS",
     "get_backend",
     "list_backends",
     "register_backend",

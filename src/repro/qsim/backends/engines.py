@@ -40,7 +40,17 @@ __all__ = [
     "DensityMatrixBackend",
     "StabilizerBackend",
     "resolve_backend",
+    "build_noisy_backend",
+    "NOISE_CHANNELS",
 ]
+
+#: channel names understood by :func:`build_noisy_backend` (and the CLI's
+#: ``--noise-model`` flag)
+NOISE_CHANNELS = ("bit_flip", "phase_flip", "depolarizing")
+
+#: registry names (and aliases) that take exact Kraus ``gate_noise`` instead
+#: of a trajectory / Pauli-frame ``noise_model``
+_KRAUS_BACKENDS = frozenset({"density_matrix", "dm", "density"})
 
 #: the per-shot collapse path is split into this many deterministic chunks
 #: (each with a seed spawned from the experiment seed), so the merged counts
@@ -231,6 +241,15 @@ class StabilizerBackend(Backend):
     qubits run in milliseconds.  Submitting a non-Clifford circuit raises a
     clean :class:`BackendError` naming the offending instruction; use
     :func:`repro.qsim.transpiler.is_clifford` to pre-check.
+
+    ``noise_model`` injects a single-qubit **Pauli** channel
+    (:class:`~repro.qsim.noise.BitFlipNoise`,
+    :class:`~repro.qsim.noise.PhaseFlipNoise`,
+    :class:`~repro.qsim.noise.DepolarizingNoise`) after every unitary
+    instruction -- the same hook the statevector engine exposes, but still
+    polynomial because Pauli errors ride the tableau's symbolic phases.
+    ``noise_method`` (``"auto"``/``"symbolic"``/``"per_shot"``) picks the
+    execution strategy for noisy runs; see ``docs/noise.md``.
     """
 
     name = "stabilizer"
@@ -238,10 +257,38 @@ class StabilizerBackend(Backend):
     def __init__(
         self,
         seed: Optional[int] = None,
+        noise_model: Optional[object] = None,
+        noise_method: str = "auto",
         simulator: Optional[StabilizerSimulator] = None,
     ):
         super().__init__(seed)
-        self._engine = simulator if simulator is not None else StabilizerSimulator(seed=seed)
+        if simulator is not None:
+            if noise_model is not None or noise_method != "auto":
+                # a wrapped engine carries its own noise configuration;
+                # accepting both would silently discard one of them
+                raise BackendError(
+                    "pass either simulator= or noise_model=/noise_method=, not both "
+                    "(configure the noise on the StabilizerSimulator you wrap)"
+                )
+            self._engine = simulator
+        else:
+            try:
+                self._engine = StabilizerSimulator(
+                    seed=seed, noise_model=noise_model, noise_method=noise_method
+                )
+            except SimulationError as exc:
+                raise BackendError(str(exc)) from exc
+
+    def _fresh_engine(self, seed: Optional[int]) -> StabilizerSimulator:
+        # seeded experiments (incl. the batch seed+i expansion under
+        # parallel dispatch) must carry the template's noise configuration,
+        # or a noisy backend would silently run noiseless when parallelised
+        template = self._engine
+        return StabilizerSimulator(
+            seed=seed,
+            noise_model=template.noise_model,
+            noise_method=template.noise_method,
+        )
 
     def _run_experiment(
         self,
@@ -254,12 +301,56 @@ class StabilizerBackend(Backend):
         if options:
             raise BackendError(f"unknown run options {sorted(options)} for {self.name!r}")
         started = time.perf_counter()
-        engine = self._engine if seed is None else StabilizerSimulator(seed=seed)
+        engine = self._engine if seed is None else self._fresh_engine(seed)
         try:
             engine_result = engine.run(circuit, shots=shots, memory=memory)
         except SimulationError as exc:
             raise BackendError(str(exc)) from exc
-        return _wrap(circuit, engine_result, shots, seed, started, {"method": "stabilizer"})
+        method = "stabilizer" if engine.noise_model is None else "stabilizer_noisy"
+        return _wrap(circuit, engine_result, shots, seed, started, {"method": method})
+
+
+def build_noisy_backend(
+    name: Optional[str],
+    p: float,
+    channel: str = "depolarizing",
+    seed: Optional[int] = None,
+) -> Backend:
+    """Instantiate backend *name* with noise *channel* at probability *p*.
+
+    The one place that knows which noise form each engine takes:
+    density-matrix style backends receive the exact single-qubit Kraus
+    channel as ``gate_noise={1: ..., 2: ...}``, every other backend the
+    matching trajectory / Pauli-frame ``noise_model`` -- so the CLI's
+    ``--noise`` flag and the algorithm drivers construct noisy engines
+    identically.  *name* may be ``None`` (defaults to ``statevector``).
+    Raises :class:`SimulationError` for an unknown channel name and
+    :class:`BackendError` for a backend that accepts neither noise form.
+    """
+    from ..density import bit_flip_kraus, depolarizing_kraus, phase_flip_kraus
+    from ..noise import BitFlipNoise, DepolarizingNoise, PhaseFlipNoise
+    from .registry import get_backend
+
+    channels = {
+        "bit_flip": (BitFlipNoise, bit_flip_kraus),
+        "phase_flip": (PhaseFlipNoise, phase_flip_kraus),
+        "depolarizing": (DepolarizingNoise, depolarizing_kraus),
+    }
+    if channel not in channels:
+        raise SimulationError(
+            f"unknown noise channel {channel!r} (choose from {sorted(channels)})"
+        )
+    model_cls, kraus_fn = channels[channel]
+    name = name or "statevector"
+    if name.lower() in _KRAUS_BACKENDS:
+        kraus = kraus_fn(p)
+        return get_backend(name, seed=seed, gate_noise={1: kraus, 2: kraus})
+    try:
+        return get_backend(name, seed=seed, noise_model=model_cls(p))
+    except TypeError as exc:
+        raise BackendError(
+            f"backend {name!r} does not support noise injection: {exc}"
+        ) from exc
 
 
 def resolve_backend(

@@ -73,6 +73,47 @@ def _check_probability(p: float) -> None:
         raise SimulationError("channel probability must be in [0, 1]")
 
 
+def _validate_gate_noise(
+    gate_noise: Dict[int, List[np.ndarray]],
+) -> Dict[int, List[np.ndarray]]:
+    """Validate a ``gate_noise`` mapping and normalise its operators.
+
+    The convention (now enforced instead of silently assumed): the key is
+    the **gate arity** (1 or 2; wider gates reuse the key-2 channel) and the
+    value is a list of **single-qubit** (2x2) Kraus operators applied
+    *independently to every qubit the gate touched*.  A 4x4 two-qubit Kraus
+    channel under key 2 used to silently degrade into nonsense -- it is now
+    rejected with an error naming the convention.  Completeness
+    (``sum K^dagger K = I``) is checked so non-trace-preserving channels
+    fail at construction, not as drifting probabilities mid-run.
+    """
+    validated: Dict[int, List[np.ndarray]] = {}
+    for arity, kraus_operators in gate_noise.items():
+        if arity not in (1, 2):
+            raise SimulationError(
+                f"gate_noise key {arity!r} is not a supported gate arity: use 1 "
+                "(single-qubit gates) or 2 (two-qubit-and-wider gates)"
+            )
+        operators = [np.asarray(k, dtype=complex) for k in kraus_operators]
+        if not operators:
+            raise SimulationError(f"gate_noise[{arity}] must contain at least one Kraus operator")
+        for kraus in operators:
+            if kraus.shape != (2, 2):
+                raise SimulationError(
+                    f"gate_noise[{arity}] expects single-qubit (2x2) Kraus operators, "
+                    f"applied independently to each qubit a {arity}-qubit gate "
+                    f"touches; got an operator of shape {kraus.shape}"
+                )
+        completeness = sum(kraus.conj().T @ kraus for kraus in operators)
+        if not np.allclose(completeness, np.eye(2), atol=1e-8):
+            raise SimulationError(
+                f"gate_noise[{arity}] Kraus operators are not complete "
+                "(sum K^dagger K != I); the channel would not be trace-preserving"
+            )
+        validated[arity] = operators
+    return validated
+
+
 # ---------------------------------------------------------------------------
 # Density matrix
 # ---------------------------------------------------------------------------
@@ -244,9 +285,14 @@ class DensityMatrix:
 class DensityMatrixSimulator:
     """Runs :class:`QuantumCircuit` objects on a density matrix.
 
-    ``gate_noise`` maps a gate-arity (1 or 2) to a list of single-qubit Kraus
-    operators applied to every qubit the gate touched -- the exact analogue of
-    the trajectory noise models in :mod:`repro.qsim.noise`.
+    ``gate_noise`` maps a gate **arity** (1, or 2 for two-qubit-and-wider
+    gates) to a list of **single-qubit** (2x2) Kraus operators that are
+    applied *independently to every qubit the gate touched* -- the exact
+    analogue of the per-touched-qubit trajectory models in
+    :mod:`repro.qsim.noise`, not a correlated multi-qubit channel.  The
+    mapping is validated at construction: wrong-shape operators and
+    non-trace-preserving sets (``sum K^dagger K != I``) raise a
+    :class:`SimulationError` immediately.
     """
 
     def __init__(
@@ -255,7 +301,7 @@ class DensityMatrixSimulator:
         gate_noise: Optional[Dict[int, List[np.ndarray]]] = None,
     ):
         self._rng = np.random.default_rng(seed)
-        self.gate_noise = gate_noise or {}
+        self.gate_noise = _validate_gate_noise(gate_noise) if gate_noise else {}
 
     def evolve(self, circuit: QuantumCircuit, initial: Optional[DensityMatrix] = None) -> DensityMatrix:
         """Return the density matrix after running *circuit* (measurements collapse)."""

@@ -30,26 +30,53 @@ rotation gates at multiples of pi/2, plus **any** unitary block up to
 is Clifford (fused blocks, controlled gates, explicit unitaries) via its
 Pauli conjugation table.  Measurement and reset are exact; ``Initialize``
 is supported for computational-basis states.
+
+**Noise.**  Pauli errors are Clifford, so the engine also runs *noisy*
+circuits in polynomial time: a :class:`~repro.qsim.noise.NoiseModel` whose
+:meth:`~repro.qsim.noise.NoiseModel.pauli_terms` describes a single-qubit
+Pauli channel is injected after every unitary instruction on the qubits it
+touched, mirroring the statevector engine's trajectory hook.  The injection
+rides the symbolic-phase machinery: a Pauli error never changes the
+tableau's x/z bit-matrix -- only row signs -- so each potential error
+location contributes one (bit/phase flip) or two (general Pauli channel,
+X-part and Z-part of ``X^a Z^b``) extra phase-symbol columns whose per-shot
+bits are drawn from the channel's distribution instead of uniformly.  The
+evolve-once / sample-all-shots fast path is preserved; when the phase
+matrix would outgrow :data:`MAX_SYMBOLIC_PHASE_CELLS` the engine falls
+back to concrete per-shot tableau evolution (see ``docs/noise.md`` for the
+crossover).
 """
 
 from __future__ import annotations
 
-from typing import Any, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from .circuit import QuantumCircuit
 from .exceptions import SimulationError
 from .instruction import Barrier, Initialize, Measure
-from .simulator import Result
+from .noise import NoiseModel
+from .simulator import Result, format_bits
 from .transpiler import _clifford_classification
 
-__all__ = ["StabilizerTableau", "StabilizerSimulator", "STABILIZER_GATES"]
+__all__ = [
+    "StabilizerTableau",
+    "StabilizerSimulator",
+    "STABILIZER_GATES",
+    "MAX_SYMBOLIC_PHASE_CELLS",
+]
 
 #: gates the engine executes without any matrix analysis
 STABILIZER_GATES = frozenset(
     {"id", "x", "y", "z", "h", "s", "sdg", "sx", "cx", "cy", "cz", "swap", "iswap"}
 )
+
+#: crossover bound of the noisy symbolic fast path: when the phase matrix
+#: (``(2n + 1) x (1 + symbols)`` uint8 cells) would exceed this many cells
+#: (~64 MB), ``noise_method="auto"`` switches to per-shot tableau evolution
+#: instead of materialising a huge symbol frame (see docs/noise.md)
+MAX_SYMBOLIC_PHASE_CELLS = 64_000_000
 
 _PAULI_CHARS = ("I", "Z", "X", "Y")  # indexed by the 2x + z code
 
@@ -187,6 +214,51 @@ class StabilizerTableau:
         self.s(qubit_b)
         self.cz(qubit_a, qubit_b)
         self.swap(qubit_a, qubit_b)
+
+    def apply_pauli(self, qubit: int, pauli: str) -> None:
+        """Apply the single-qubit Pauli *pauli* (``"X"``/``"Y"``/``"Z"``) concretely."""
+        method = {"X": self.x, "Y": self.y, "Z": self.z}.get(pauli)
+        if method is None:
+            raise SimulationError(f"unknown Pauli {pauli!r} (expected X, Y or Z)")
+        method(qubit)
+
+    def allocate_symbol(self) -> int:
+        """Reserve the next phase-symbol column and return its index.
+
+        Capacity is fixed by the constructor's *max_symbols*; the simulator
+        uses this both for random measurement events and for injected noise
+        symbols.
+        """
+        column = 1 + self._num_symbols
+        if column >= self.phases.shape[1]:
+            raise SimulationError("phase-symbol capacity exhausted")
+        self._num_symbols += 1
+        return column
+
+    def inject_pauli_symbol(self, qubit: int, pauli: str, column: int) -> None:
+        """Record a *symbolic* Pauli error on *qubit* under symbol *column*.
+
+        Applying ``X``/``Y``/``Z`` flips the sign of every row anticommuting
+        with it; attributing those flips to a symbol column instead of the
+        concrete sign bit makes the error conditional on that symbol's
+        per-shot bit.  Because a Pauli never changes the x/z bit-matrix, the
+        rest of the (Clifford + measurement) evolution is independent of
+        whether the error fired -- which is exactly why noisy Clifford
+        circuits stay polynomial.
+        """
+        self._check_qubit(qubit)
+        if not 1 <= column < self.phases.shape[1]:
+            raise SimulationError(f"phase-symbol column {column} out of range")
+        x, z = self.xs[:, qubit], self.zs[:, qubit]
+        if pauli == "X":
+            mask = z
+        elif pauli == "Z":
+            mask = x
+        elif pauli == "Y":
+            mask = x ^ z
+        else:
+            raise SimulationError(f"unknown Pauli {pauli!r} (expected X, Y or Z)")
+        self.phases[:, column] ^= mask
 
     def apply_pauli_table(
         self, table: Tuple[np.ndarray, np.ndarray, np.ndarray], targets: Sequence[int]
@@ -327,7 +399,10 @@ class StabilizerTableau:
         self._check_qubit(qubit)
         if self._num_symbols:
             raise SimulationError(
-                "cannot measure concretely on a tableau with symbolic phases"
+                "cannot measure or reset concretely on a tableau carrying "
+                "symbolic phases (measurement or noise symbols); use "
+                "StabilizerSimulator.run()'s symbolic sampling instead, or "
+                "evolve() for a concrete tableau"
             )
         pivot = self._pivot(qubit)
         if pivot is None:
@@ -350,10 +425,7 @@ class StabilizerTableau:
         pivot = self._pivot(qubit)
         if pivot is None:
             return self._deterministic_expr(qubit)
-        column = 1 + self._num_symbols
-        if column >= self.phases.shape[1]:
-            raise SimulationError("phase-symbol capacity exhausted")
-        self._num_symbols += 1
+        column = self.allocate_symbol()
         self._collapse(qubit, pivot)
         self.phases[pivot, column] = 1
         expr = np.zeros(self.phases.shape[1], dtype=np.uint8)
@@ -416,11 +488,12 @@ class StabilizerTableau:
 
 #: ("gate", method_name, qubits) | ("table", table, qubits) |
 #: ("initialize", basis_value, qubits) |
-#: ("measure", clbit, (qubit,)) | ("reset", None, (qubit,))
+#: ("measure", clbit, (qubit,)) | ("reset", None, (qubit,)) |
+#: ("noise", None, qubits) -- error-injection point after a unitary instruction
 _CompiledOp = Tuple[str, Any, Tuple[int, ...]]
 
 
-def _compile(circuit: QuantumCircuit) -> Tuple[List[_CompiledOp], int]:
+def _compile(circuit: QuantumCircuit, noise: bool = False) -> Tuple[List[_CompiledOp], int]:
     """Lower *circuit* to tableau operations; returns (ops, #measure-events).
 
     The per-instruction decision is
@@ -429,6 +502,12 @@ def _compile(circuit: QuantumCircuit) -> Tuple[List[_CompiledOp], int]:
     detection and execution cannot disagree.  Raises
     :class:`SimulationError` naming the offending instruction when the
     circuit is not Clifford.
+
+    With *noise* set, a ``("noise", None, targets)`` marker is emitted after
+    every **unitary instruction** (one per source instruction, not per
+    lowered primitive, and never after measure/reset/initialize/barriers) --
+    the exact hook placement of the statevector engine's trajectory models,
+    so cross-engine noise statistics are comparable.
     """
     ops: List[_CompiledOp] = []
     events = 0
@@ -464,13 +543,51 @@ def _compile(circuit: QuantumCircuit) -> Tuple[List[_CompiledOp], int]:
         elif kind == "sequence":
             for name, local_indices in payload:
                 ops.append(("gate", name, tuple(targets[i] for i in local_indices)))
+            if noise:
+                ops.append(("noise", None, targets))
         else:  # "table"
             ops.append(("table", payload, targets))
+            if noise:
+                ops.append(("noise", None, targets))
     return ops, events
 
 
+def _pauli_channel_encoding(terms) -> Optional[Tuple[str, Any]]:
+    """How a Pauli channel maps onto tableau symbols.
+
+    Returns ``("single", pauli, p)`` when only one Pauli type occurs (one
+    Bernoulli symbol per error location) or ``("pair", (pX, pY, pZ))`` for a
+    general Pauli channel (two correlated symbols per location: the X-part
+    and Z-part of the error ``X^a Z^b``, with Y = both).  ``None`` means the
+    channel never fires (all probabilities zero) and injection is skipped.
+    """
+    probs = {"X": 0.0, "Y": 0.0, "Z": 0.0}
+    for pauli, p in terms:
+        if pauli not in probs:
+            raise SimulationError(f"unknown Pauli {pauli!r} in noise channel")
+        if not 0.0 <= p <= 1.0:
+            raise SimulationError("Pauli error probability must be in [0, 1]")
+        probs[pauli] += p
+    if sum(probs.values()) > 1.0 + 1e-9:
+        raise SimulationError("Pauli error probabilities sum to more than 1")
+    active = [pauli for pauli, p in probs.items() if p > 0.0]
+    if not active:
+        return None
+    if len(active) == 1:
+        return ("single", active[0], probs[active[0]])
+    return ("pair", (probs["X"], probs["Y"], probs["Z"]))
+
+
+#: per-shot symbol distributions: ("uniform", None) for a random measurement
+#: event, ("bernoulli", p) for a single-Pauli error symbol, ("pair",
+#: (pX, pY, pZ)) for the (X-part, Z-part) column pair of a general Pauli error
+_SymbolSpec = Tuple[str, Any]
+
+_NOISE_METHODS = ("auto", "symbolic", "per_shot")
+
+
 class StabilizerSimulator:
-    """Polynomial-time execution engine for Clifford circuits.
+    """Polynomial-time execution engine for (optionally noisy) Clifford circuits.
 
     Mirrors the :class:`~repro.qsim.simulator.StatevectorSimulator` calling
     convention (``run(circuit, shots, memory, seed) -> Result``) so it slots
@@ -478,10 +595,49 @@ class StabilizerSimulator:
     measurements and resets included -- is evolved **once** with symbolic
     measurement phases; all shots are then sampled with a single mod-2
     matrix multiply (see the module docstring).
+
+    *noise_model* injects a single-qubit Pauli channel
+    (:class:`~repro.qsim.noise.BitFlipNoise`,
+    :class:`~repro.qsim.noise.PhaseFlipNoise`,
+    :class:`~repro.qsim.noise.DepolarizingNoise`, or any model whose
+    ``pauli_terms()`` is not ``None``) after every unitary instruction, on
+    the qubits it touched.  *noise_method* selects how noisy runs execute:
+
+    * ``"symbolic"`` -- error locations become extra phase-symbol columns;
+      the evolve-once / sample-all-shots fast path is kept (preferred).
+    * ``"per_shot"`` -- every shot re-evolves a concrete tableau with
+      concretely sampled errors (no symbol memory, linear in shots).
+    * ``"auto"`` (default) -- symbolic unless the phase matrix would exceed
+      :data:`MAX_SYMBOLIC_PHASE_CELLS` cells.
     """
 
-    def __init__(self, seed: Optional[int] = None):
+    def __init__(
+        self,
+        seed: Optional[int] = None,
+        noise_model: Optional[NoiseModel] = None,
+        noise_method: str = "auto",
+    ):
         self._rng = np.random.default_rng(seed)
+        if noise_method not in _NOISE_METHODS:
+            raise SimulationError(
+                f"unknown noise_method {noise_method!r} (choose from {_NOISE_METHODS})"
+            )
+        self.noise_model = noise_model
+        self.noise_method = noise_method
+
+    def _noise_encoding(self) -> Optional[Tuple[str, Any]]:
+        """Validate the attached noise model and return its symbol encoding."""
+        if self.noise_model is None:
+            return None
+        terms = self.noise_model.pauli_terms()
+        if terms is None:
+            raise SimulationError(
+                f"the stabilizer engine only supports Pauli noise channels; "
+                f"{type(self.noise_model).__name__} does not describe itself as "
+                "one (pauli_terms() returned None) -- use the statevector or "
+                "density-matrix engine for non-Pauli noise"
+            )
+        return _pauli_channel_encoding(terms)
 
     def run(
         self,
@@ -499,10 +655,24 @@ class StabilizerSimulator:
         """
         if shots <= 0:
             raise SimulationError("shots must be positive")
-        ops, max_events = _compile(circuit)
+        encoding = self._noise_encoding()
+        ops, max_events = _compile(circuit, noise=encoding is not None)
         rng = self._rng if seed is None else np.random.default_rng(seed)
-        tableau = StabilizerTableau(circuit.num_qubits, max_symbols=max_events)
+
+        noise_columns = 0
+        if encoding is not None:
+            per_qubit = 1 if encoding[0] == "single" else 2
+            touches = sum(len(targets) for kind, _, targets in ops if kind == "noise")
+            noise_columns = per_qubit * touches
+        capacity = max_events + noise_columns
+        if encoding is not None and self._use_per_shot(circuit.num_qubits, capacity):
+            return self._run_per_shot(
+                ops, circuit.num_qubits, circuit.num_clbits, shots, memory, rng, encoding
+            )
+
+        tableau = StabilizerTableau(circuit.num_qubits, max_symbols=capacity)
         recorded: List[Tuple[int, np.ndarray]] = []
+        specs: List[_SymbolSpec] = []
         for kind, payload, targets in ops:
             if kind == "gate":
                 getattr(tableau, payload)(*targets)
@@ -510,13 +680,21 @@ class StabilizerSimulator:
                 tableau.apply_pauli_table(payload, targets)
             elif kind == "initialize":
                 tableau.initialize_basis(payload, targets)
+            elif kind == "noise":
+                self._inject_symbolic(tableau, targets, encoding, specs)
             elif kind == "measure":
+                before = tableau._num_symbols
                 recorded.append((payload, tableau._measure_symbolic(targets[0])))
+                if tableau._num_symbols > before:
+                    specs.append(("uniform", None))
             else:  # reset
+                before = tableau._num_symbols
                 tableau._reset_symbolic(targets[0])
+                if tableau._num_symbols > before:
+                    specs.append(("uniform", None))
         if not recorded:
             return Result(counts={}, shots=shots, memory=[] if memory else None)
-        outcomes = self._sample_outcomes(recorded, tableau._num_symbols, shots, rng)
+        outcomes = self._sample_outcomes(recorded, specs, shots, rng)
         return self._tally(outcomes, recorded, circuit.num_clbits, shots, memory)
 
     def evolve(
@@ -525,9 +703,13 @@ class StabilizerSimulator:
         """Return the tableau after running *circuit* once.
 
         Measurements are skipped unless *collapse_measurements* is set (then
-        they collapse using the simulator's RNG); resets always apply.
+        they collapse using the simulator's RNG); resets always apply.  With
+        a noise model attached, one concrete error trajectory is sampled
+        from the simulator's RNG (the symbolic frame only exists inside
+        :meth:`run`).
         """
-        ops, _ = _compile(circuit)
+        encoding = self._noise_encoding()
+        ops, _ = _compile(circuit, noise=encoding is not None)
         tableau = StabilizerTableau(circuit.num_qubits)
         for kind, payload, targets in ops:
             if kind == "gate":
@@ -536,6 +718,9 @@ class StabilizerSimulator:
                 tableau.apply_pauli_table(payload, targets)
             elif kind == "initialize":
                 tableau.initialize_basis(payload, targets)
+            elif kind == "noise":
+                for qubit in targets:
+                    self._inject_concrete(tableau, qubit, encoding, self._rng)
             elif kind == "measure":
                 if collapse_measurements:
                     tableau.measure(targets[0], rng=self._rng)
@@ -545,20 +730,136 @@ class StabilizerSimulator:
 
     # -- internals ---------------------------------------------------------------
 
+    def _use_per_shot(self, num_qubits: int, capacity: int) -> bool:
+        """The symbolic-vs-per-shot crossover (see docs/noise.md)."""
+        if self.noise_method == "per_shot":
+            return True
+        if self.noise_method == "symbolic":
+            return False
+        return (2 * num_qubits + 1) * (1 + capacity) > MAX_SYMBOLIC_PHASE_CELLS
+
+    @staticmethod
+    def _inject_symbolic(
+        tableau: StabilizerTableau,
+        targets: Sequence[int],
+        encoding: Optional[Tuple[str, Any]],
+        specs: List[_SymbolSpec],
+    ) -> None:
+        """Allocate and wire the error symbols of one noise marker."""
+        if encoding is None:
+            return
+        if encoding[0] == "single":
+            _, pauli, p = encoding
+            for qubit in targets:
+                tableau.inject_pauli_symbol(qubit, pauli, tableau.allocate_symbol())
+                specs.append(("bernoulli", p))
+        else:
+            for qubit in targets:
+                tableau.inject_pauli_symbol(qubit, "X", tableau.allocate_symbol())
+                tableau.inject_pauli_symbol(qubit, "Z", tableau.allocate_symbol())
+                specs.append(("pair", encoding[1]))
+
+    @staticmethod
+    def _inject_concrete(
+        tableau: StabilizerTableau,
+        qubit: int,
+        encoding: Optional[Tuple[str, Any]],
+        rng: np.random.Generator,
+    ) -> None:
+        """Sample and apply one concrete error for the per-shot path."""
+        if encoding is None:
+            return
+        if encoding[0] == "single":
+            _, pauli, p = encoding
+            if rng.random() < p:
+                tableau.apply_pauli(qubit, pauli)
+            return
+        p_x, p_y, p_z = encoding[1]
+        draw = rng.random()
+        if draw < p_x:
+            tableau.x(qubit)
+        elif draw < p_x + p_y:
+            tableau.y(qubit)
+        elif draw < p_x + p_y + p_z:
+            tableau.z(qubit)
+
+    def _run_per_shot(
+        self,
+        ops: List[_CompiledOp],
+        num_qubits: int,
+        num_clbits: int,
+        shots: int,
+        memory: bool,
+        rng: np.random.Generator,
+        encoding: Tuple[str, Any],
+    ) -> Result:
+        """Concrete fallback: re-evolve the tableau for every shot."""
+        counts: Dict[str, int] = {}
+        shot_values: List[str] = []
+        measured = False
+        for _ in range(shots):
+            tableau = StabilizerTableau(num_qubits)
+            bits: Dict[int, int] = {}
+            for kind, payload, targets in ops:
+                if kind == "gate":
+                    getattr(tableau, payload)(*targets)
+                elif kind == "table":
+                    tableau.apply_pauli_table(payload, targets)
+                elif kind == "initialize":
+                    tableau.initialize_basis(payload, targets)
+                elif kind == "noise":
+                    for qubit in targets:
+                        self._inject_concrete(tableau, qubit, encoding, rng)
+                elif kind == "measure":
+                    bits[payload] = tableau.measure(targets[0], rng=rng)
+                else:  # reset
+                    tableau.reset(targets[0], rng=rng)
+            if not bits:
+                continue
+            measured = True
+            key = format_bits(bits, num_clbits)
+            counts[key] = counts.get(key, 0) + 1
+            if memory:
+                shot_values.append(key)
+        if not measured:
+            return Result(counts={}, shots=shots, memory=[] if memory else None)
+        return Result(counts=counts, shots=shots, memory=shot_values if memory else None)
+
     @staticmethod
     def _sample_outcomes(
         recorded: List[Tuple[int, np.ndarray]],
-        num_symbols: int,
+        specs: List[_SymbolSpec],
         shots: int,
         rng: np.random.Generator,
     ) -> np.ndarray:
         """Evaluate the affine outcome expressions for every shot at once."""
         exprs = np.stack([expr for _, expr in recorded])  # (M, 1 + capacity)
         constants = exprs[:, 0]
+        num_symbols = sum(1 if spec[0] != "pair" else 2 for spec in specs)
         if num_symbols == 0:
             return np.tile(constants, (shots, 1))
+        if all(spec[0] == "uniform" for spec in specs):
+            # noiseless fast path: one draw, bit-identical to the pre-noise
+            # engine for a given seed (regression seeds rely on this stream)
+            bits = rng.integers(0, 2, size=(shots, num_symbols), dtype=np.int32)
+        else:
+            bits = np.empty((shots, num_symbols), dtype=np.int32)
+            column = 0
+            for spec in specs:
+                kind, payload = spec
+                if kind == "uniform":
+                    bits[:, column] = rng.integers(0, 2, size=shots, dtype=np.int32)
+                    column += 1
+                elif kind == "bernoulli":
+                    bits[:, column] = rng.random(shots) < payload
+                    column += 1
+                else:  # pair: joint (X-part, Z-part) of one error location
+                    p_x, p_y, p_z = payload
+                    draw = rng.random(shots)
+                    bits[:, column] = draw < (p_x + p_y)
+                    bits[:, column + 1] = (draw >= p_x) & (draw < p_x + p_y + p_z)
+                    column += 2
         coefficients = exprs[:, 1 : 1 + num_symbols].astype(np.int32)
-        bits = rng.integers(0, 2, size=(shots, num_symbols), dtype=np.int32)
         parity = (bits @ coefficients.T) & 1
         return (parity.astype(np.uint8)) ^ constants
 

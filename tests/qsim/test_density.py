@@ -40,6 +40,47 @@ class TestKrausChannels:
         assert np.allclose(dm.data, before)
 
 
+class TestGateNoiseValidation:
+    """``gate_noise`` convention: single-qubit Kraus per touched qubit, validated."""
+
+    def test_valid_mapping_accepted(self):
+        sim = DensityMatrixSimulator(
+            gate_noise={1: bit_flip_kraus(0.1), 2: depolarizing_kraus(0.05)}
+        )
+        assert set(sim.gate_noise) == {1, 2}
+
+    def test_two_qubit_kraus_rejected_with_convention_in_message(self):
+        # a 4x4 operator under key 2 used to silently degrade into nonsense;
+        # it must now fail loudly, naming the per-touched-qubit convention
+        bad = [np.eye(4, dtype=complex)]
+        with pytest.raises(SimulationError, match="single-qubit .2x2. Kraus"):
+            DensityMatrixSimulator(gate_noise={2: bad})
+
+    def test_incomplete_kraus_set_rejected(self):
+        # K^dagger K sums to 0.5 I -- not trace preserving
+        half = [math.sqrt(0.5) * gates.I1]
+        with pytest.raises(SimulationError, match="sum K\\^dagger K != I"):
+            DensityMatrixSimulator(gate_noise={1: half})
+
+    def test_unsupported_arity_key_rejected(self):
+        with pytest.raises(SimulationError, match="arity"):
+            DensityMatrixSimulator(gate_noise={3: bit_flip_kraus(0.1)})
+
+    def test_empty_operator_list_rejected(self):
+        with pytest.raises(SimulationError, match="at least one"):
+            DensityMatrixSimulator(gate_noise={1: []})
+
+    def test_wide_gates_reuse_key_two_channel(self):
+        # three-qubit unitary gates draw the key-2 (i.e. min(arity, 2)) channel,
+        # applied independently per touched qubit
+        qc = QuantumCircuit(3, 3)
+        qc.ccx(0, 1, 2)
+        qc.measure([0, 1, 2], [0, 1, 2])
+        sim = DensityMatrixSimulator(seed=0, gate_noise={2: bit_flip_kraus(0.5)})
+        counts = sim.run(qc, shots=400).counts
+        assert len(counts) > 1  # noise visibly fired on the 3-qubit gate
+
+
 class TestDensityMatrix:
     def test_zero_state(self):
         dm = DensityMatrix.zero_state(2)

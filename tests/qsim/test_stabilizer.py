@@ -162,6 +162,47 @@ class TestMeasurement:
         tab.reset(0, rng=np.random.default_rng(3))
         assert tab.stabilizers() == ["+Z"]
 
+    @pytest.mark.parametrize("rng", [None, np.random.default_rng(0)])
+    def test_measure_on_symbolic_tableau_raises_clean_error(self, rng):
+        # regression: a tableau already carrying symbolic phases must reject
+        # concrete measurement with the same clean "use symbolic sampling"
+        # message the backend path gets -- for rng=None included, not an
+        # opaque internal error
+        tab = StabilizerTableau(2, max_symbols=2)
+        tab.h(0)
+        tab._measure_symbolic(0)
+        for qubit in (0, 1):  # deterministic and untouched qubit alike
+            with pytest.raises(SimulationError, match="symbolic sampling"):
+                tab.measure(qubit, rng=rng)
+
+    @pytest.mark.parametrize("rng", [None, np.random.default_rng(0)])
+    def test_reset_on_symbolic_tableau_raises_clean_error(self, rng):
+        tab = StabilizerTableau(2, max_symbols=2)
+        tab.h(0)
+        tab._measure_symbolic(0)
+        before = tab.stabilizers()
+        with pytest.raises(SimulationError, match="symbolic sampling"):
+            tab.reset(1, rng=rng)
+        # the rejection happened before any state mutation
+        assert tab.stabilizers() == before
+
+    def test_symbolic_noise_tableau_also_rejects_concrete_measure(self):
+        tab = StabilizerTableau(1, max_symbols=1)
+        tab.h(0)
+        tab.inject_pauli_symbol(0, "Z", tab.allocate_symbol())
+        with pytest.raises(SimulationError, match="symbolic sampling"):
+            tab.measure(0)
+
+    def test_inject_pauli_symbol_validates_inputs(self):
+        tab = StabilizerTableau(1, max_symbols=1)
+        with pytest.raises(SimulationError, match="column"):
+            tab.inject_pauli_symbol(0, "X", 5)
+        with pytest.raises(SimulationError, match="Pauli"):
+            tab.inject_pauli_symbol(0, "Q", 1)
+        with pytest.raises(SimulationError, match="capacity"):
+            tab.allocate_symbol()
+            tab.allocate_symbol()
+
 
 # ---------------------------------------------------------------------------
 # the simulator's deferred sampler

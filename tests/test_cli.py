@@ -106,3 +106,38 @@ class TestBackendSelection:
         with pytest.raises(SystemExit):
             main([])
         assert "program argument is required" in capsys.readouterr().err
+
+
+class TestNoiseOptions:
+    def test_noise_flags_parsed(self):
+        args = build_arg_parser().parse_args(
+            ["prog.qut", "--noise", "0.05", "--noise-model", "bit_flip"]
+        )
+        assert args.noise == 0.05
+        assert args.noise_model == "bit_flip"
+
+    def test_noise_defaults_to_depolarizing(self):
+        args = build_arg_parser().parse_args(["prog.qut", "--noise", "0.1"])
+        assert args.noise_model == "depolarizing"
+
+    @pytest.mark.parametrize("backend", [None, "statevector", "stabilizer", "density_matrix"])
+    def test_program_runs_with_noise(self, program_file, capsys, backend):
+        argv = [program_file, "--seed", "1", "--noise", "0.01"]
+        if backend is not None:
+            argv += ["--backend", backend]
+        assert main(argv) == 0
+        assert capsys.readouterr().out
+
+    def test_invalid_probability_fails_cleanly(self, program_file, capsys):
+        assert main([program_file, "--noise", "1.5"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_build_noisy_backend_maps_channels(self):
+        from repro.qsim.backends import build_noisy_backend
+
+        backend = build_noisy_backend("stabilizer", 0.1, "phase_flip", seed=1)
+        assert type(backend._engine.noise_model).__name__ == "PhaseFlipNoise"
+        backend = build_noisy_backend("dm", 0.1, "depolarizing", seed=1)
+        assert set(backend._engine.gate_noise) == {1, 2}
+        backend = build_noisy_backend(None, 0.1, "bit_flip")
+        assert backend.name == "statevector"
