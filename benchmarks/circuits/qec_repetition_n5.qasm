@@ -1,0 +1,25 @@
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg data[3];
+qreg anc[2];
+creg syn[2];
+creg out[3];
+// encode |1> across the three data qubits
+x data[0];
+cx data[0], data[1];
+cx data[0], data[2];
+// inject an error on the middle qubit
+x data[1];
+barrier data, anc;
+// extract the two parity syndromes
+cx data[0], anc[0];
+cx data[1], anc[0];
+cx data[1], anc[1];
+cx data[2], anc[1];
+measure anc[0] -> syn[0];
+measure anc[1] -> syn[1];
+reset anc[0];
+reset anc[1];
+// correct the injected error (syndrome 11 -> middle qubit)
+x data[1];
+measure data -> out;

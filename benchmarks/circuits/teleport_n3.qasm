@@ -1,0 +1,16 @@
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+creg c[3];
+// user-defined gate: exercises definition + inlining
+gate bellpair a, b { h a; cx a, b; }
+// message qubit in the |-> state
+x q[0];
+h q[0];
+bellpair q[1], q[2];
+cx q[0], q[1];
+h q[0];
+// deferred corrections instead of classically-conditioned gates
+cx q[1], q[2];
+cz q[0], q[2];
+measure q -> c;

@@ -1,0 +1,12 @@
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+creg c[3];
+// W state: amplitude-split 1/sqrt(3) off q[0], then distribute one-hot.
+// cu3(pi/2, 0, pi) is exactly a controlled Hadamard.
+u3(2 * 0.9553166181245093, 0, 0) q[0];   // 2*acos(1/sqrt(3))
+cu3(pi/2, 0, pi) q[0], q[1];
+cx q[1], q[2];
+cx q[0], q[1];
+x q[0];
+measure q -> c;

@@ -8,13 +8,14 @@ circuit (text or OpenQASM 2.0) and the final values of global variables.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
 from .lang import QutesError, run_file
-from .qsim.backends import NOISE_CHANNELS, build_noisy_backend
-from .qsim.exceptions import BackendError, SimulationError
-from .qsim.qasm import to_qasm
+from .qsim.backends import NOISE_CHANNELS, build_noisy_backend, resolve_backend
+from .qsim.exceptions import BackendError, QasmError, SimulationError
+from .qsim.qasm import from_qasm_file, to_qasm
 
 __all__ = ["main", "build_arg_parser"]
 
@@ -26,6 +27,14 @@ def build_arg_parser() -> argparse.ArgumentParser:
         description="Run a Qutes program on the bundled simulation backends.",
     )
     parser.add_argument("program", nargs="?", default=None, help="path to the .qut source file")
+    parser.add_argument(
+        "--from-qasm",
+        default=None,
+        metavar="FILE",
+        help="run an OpenQASM 2.0 circuit file instead of a Qutes program "
+        "(composes with --backend/--noise/--shots/--seed; circuits without "
+        "measurements get a final measure-all)",
+    )
     parser.add_argument("--seed", type=int, default=None, help="RNG seed for measurements")
     parser.add_argument("--shots", type=int, default=1024, help="shots used by sample()")
     parser.add_argument(
@@ -62,8 +71,73 @@ def build_arg_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _run_qasm_file(args: argparse.Namespace) -> int:
+    """Execute an imported OpenQASM 2.0 circuit on the selected backend."""
+    try:
+        circuit = from_qasm_file(args.from_qasm)
+    except FileNotFoundError:
+        print(f"error: no such file: {args.from_qasm}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"error: cannot read {args.from_qasm}: {exc}", file=sys.stderr)
+        return 2
+    except UnicodeDecodeError:
+        print(f"error: {args.from_qasm} is not a UTF-8 text file", file=sys.stderr)
+        return 1
+    except QasmError as exc:
+        print(f"error: {args.from_qasm}: {exc}", file=sys.stderr)
+        return 1
+    if args.show_circuit:
+        print("--- circuit ---")
+        print(circuit.draw())
+    if args.qasm:
+        print("--- qasm ---")
+        try:
+            print(to_qasm(circuit), end="")
+        except Exception as exc:  # defensive: every importable gate exports today
+            print(f"(cannot export to OpenQASM 2.0: {exc})", file=sys.stderr)
+    if circuit.num_qubits == 0:
+        # a header-only program is valid QASM; there is just nothing to run
+        print(f"note: {args.from_qasm} declares no qubits; nothing to run", file=sys.stderr)
+        return 0
+    if not circuit.has_measurements():
+        # mirror what hardware toolchains do with measurement-free circuits:
+        # sample every qubit at the end instead of returning nothing
+        circuit.measure_all()
+    try:
+        if args.noise is not None:
+            backend = build_noisy_backend(args.backend, args.noise, args.noise_model, args.seed)
+        else:
+            backend = resolve_backend(args.backend, default_seed=args.seed)
+        counts = backend.run(circuit, shots=args.shots).result().get_counts()
+    except (BackendError, SimulationError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    for bitstring, count in sorted(counts.items(), key=lambda kv: (-kv[1], kv[0])):
+        print(f"{bitstring} {count}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point used by the ``qutes`` console script."""
+    try:
+        return _main(argv)
+    except BrokenPipeError:
+        # the downstream consumer (e.g. `qutes --from-qasm ... | head`)
+        # closed the pipe mid-print.  Swap both streams for /dev/null so the
+        # interpreter's exit-time flush cannot raise again, and exit with
+        # the conventional SIGPIPE status (like cat/grep) — never 0, since
+        # the broken stream may have been stderr carrying an error report
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        for stream in (sys.stdout, sys.stderr):
+            try:
+                os.dup2(devnull, stream.fileno())
+            except (OSError, ValueError):
+                pass
+        return 141
+
+
+def _main(argv: Optional[List[str]] = None) -> int:
     parser = build_arg_parser()
     args = parser.parse_args(argv)
     if args.list_backends:
@@ -72,8 +146,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         for name in list_backends():
             print(name)
         return 0
+    if args.from_qasm is not None:
+        if args.program is not None:
+            parser.error("pass either a .qut program or --from-qasm FILE, not both")
+        if args.ast:
+            parser.error("--ast applies to Qutes programs, not --from-qasm input")
+        if args.show_variables:
+            parser.error("--show-variables applies to Qutes programs, not --from-qasm input")
+        return _run_qasm_file(args)
     if args.program is None:
-        parser.error("the program argument is required (or use --list-backends)")
+        parser.error("the program argument is required (or use --list-backends / --from-qasm)")
     if args.ast:
         from .lang.ast_printer import dump_ast
         from .lang.parser import parse

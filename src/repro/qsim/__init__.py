@@ -16,13 +16,13 @@ implementation with a self-contained, NumPy-based stack:
 * :mod:`repro.qsim.backends` -- the unified Backend/Job/Result execution
   API with batched, parallel dispatch over every engine,
 * :mod:`repro.qsim.transpiler` -- decomposition and analysis passes,
-* :mod:`repro.qsim.qasm` -- OpenQASM 2.0 export,
+* :mod:`repro.qsim.qasm` -- OpenQASM 2.0 export and import,
 * :mod:`repro.qsim.noise` -- simple stochastic noise models.
 
 The public names most users need are re-exported here.
 """
 
-from .exceptions import BackendError, QsimError, RegisterError, SimulationError
+from .exceptions import BackendError, QasmError, QsimError, RegisterError, SimulationError
 from .registers import ClassicalRegister, Clbit, QuantumRegister, Qubit
 from .instruction import (
     Barrier,
@@ -39,7 +39,7 @@ from .stabilizer import StabilizerSimulator, StabilizerTableau
 from .transpiler import count_ops, decompose, circuit_depth, is_clifford, transpile
 from .optimizer import optimize, optimization_summary
 from .fusion import fuse_gates, fusion_summary
-from .qasm import to_qasm
+from .qasm import from_qasm, from_qasm_file, to_qasm
 from .noise import BitFlipNoise, DepolarizingNoise, NoiseModel, PhaseFlipNoise
 from .density import (
     DensityMatrix,
@@ -66,6 +66,7 @@ __all__ = [
     "RegisterError",
     "SimulationError",
     "BackendError",
+    "QasmError",
     "QuantumRegister",
     "ClassicalRegister",
     "Qubit",
@@ -93,6 +94,8 @@ __all__ = [
     "fuse_gates",
     "fusion_summary",
     "to_qasm",
+    "from_qasm",
+    "from_qasm_file",
     "BitFlipNoise",
     "DepolarizingNoise",
     "NoiseModel",

@@ -93,6 +93,29 @@ class QuantumCircuit:
             for reg in regs:
                 self.add_register(reg)
 
+    # -- interchange ---------------------------------------------------------
+
+    @classmethod
+    def from_qasm(cls, source: str, name: str = "from_qasm") -> "QuantumCircuit":
+        """Build a circuit from an OpenQASM 2.0 program string.
+
+        Thin wrapper over :func:`repro.qsim.qasm.from_qasm`; see
+        ``docs/qasm.md`` for the supported subset.  Raises
+        :class:`~repro.qsim.exceptions.QasmError` on invalid input.  Like
+        :meth:`copy` and :meth:`inverse`, the result is always a base
+        :class:`QuantumCircuit`, even when called on a subclass.
+        """
+        from .qasm import from_qasm  # local import avoids a module cycle
+
+        return from_qasm(source, name=name)
+
+    @classmethod
+    def from_qasm_file(cls, path, name: Optional[str] = None) -> "QuantumCircuit":
+        """Build a circuit from the OpenQASM 2.0 file at *path*."""
+        from .qasm import from_qasm_file  # local import avoids a module cycle
+
+        return from_qasm_file(path, name=name)
+
     # -- register management -------------------------------------------------
 
     def add_register(self, register: Union[QuantumRegister, ClassicalRegister]) -> None:

@@ -19,3 +19,21 @@ class SimulationError(QsimError):
 
 class BackendError(QsimError):
     """Raised by the backend execution API (unknown backend, bad job usage)."""
+
+
+class QasmError(QsimError):
+    """Raised for invalid or unsupported OpenQASM 2.0 input.
+
+    Every instance produced by the importer carries the 1-based source
+    position of the offending token as ``line`` / ``column`` attributes, and
+    its message starts with ``"line L, column C:"`` so CLI users can jump
+    straight to the problem.
+    """
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        if line is not None:
+            prefix = f"line {line}, column {column}: " if column is not None else f"line {line}: "
+            message = prefix + message
+        super().__init__(message)
+        self.line = line
+        self.column = column

@@ -1,22 +1,42 @@
-"""OpenQASM 2.0 export.
+"""OpenQASM 2.0 interchange: export (:func:`to_qasm`) and import (:func:`from_qasm`).
 
 The paper lists "export Qutes code to ... QASM" as a roadmap item; this
-module implements that interoperability path for every circuit the Qutes
-front-end can produce.  Gates without a direct OpenQASM 2.0 counterpart
-(multi-controlled gates, explicit unitaries, ``initialize``) are first
-lowered through :func:`repro.qsim.transpiler.decompose`; anything still not
-expressible raises :class:`~repro.qsim.exceptions.CircuitError`.
+module implements both directions of that interoperability path:
+
+* :func:`to_qasm` serialises every circuit the Qutes front-end can produce.
+  Gates without a direct OpenQASM 2.0 counterpart (multi-controlled gates,
+  explicit unitaries, ``initialize``) are first lowered through
+  :func:`repro.qsim.transpiler.decompose`; anything still not expressible
+  raises :class:`~repro.qsim.exceptions.CircuitError`.  Register names that
+  are not valid OpenQASM identifiers (reserved words, uppercase first
+  letter, non-identifier characters, qreg/creg name collisions) are
+  sanitised so the emitted program always re-parses.
+
+* :func:`from_qasm` / :func:`from_qasm_file` parse an OpenQASM 2.0 program
+  into a :class:`~repro.qsim.circuit.QuantumCircuit` via a hand-written
+  tokenizer and recursive-descent parser.  The supported subset covers the
+  header, ``include "qelib1.inc"``, register declarations, the qelib1 gate
+  set, parameter expressions, user ``gate`` definitions (inlined at the
+  call site), ``measure``/``reset``/``barrier`` and register broadcast.
+  Classical conditions (``if``) and ``opaque`` declarations raise
+  :class:`~repro.qsim.exceptions.QasmError` with a clear
+  unsupported-feature message; every syntax or semantic error names the
+  1-based source line and column.  See ``docs/qasm.md`` for the guide.
 """
 
 from __future__ import annotations
 
-from typing import List
+import math
+import os
+import re
+from typing import Callable, Dict, List, NamedTuple, Optional, Sequence, Tuple, Union
 
 from .circuit import QuantumCircuit
-from .exceptions import CircuitError
-from .instruction import Barrier, Initialize, Measure, Reset
+from .exceptions import CircuitError, QasmError
+from .instruction import Barrier, Gate, Initialize, Measure, Reset
+from .registers import ClassicalRegister, Clbit, QuantumRegister, Qubit
 
-__all__ = ["to_qasm"]
+__all__ = ["to_qasm", "from_qasm", "from_qasm_file"]
 
 _SIMPLE_GATES = {
     "id",
@@ -37,8 +57,25 @@ _SIMPLE_GATES = {
     "ccx",
     "cswap",
 }
-_PARAM_GATES = {"rx": 1, "ry": 1, "rz": 1, "p": 1, "u2": 2, "u3": 3, "cp": 1, "crx": 1, "cry": 1, "crz": 1}
+_PARAM_GATES = {
+    "rx": 1,
+    "ry": 1,
+    "rz": 1,
+    "p": 1,
+    "u2": 2,
+    "u3": 3,
+    "cp": 1,
+    "crx": 1,
+    "cry": 1,
+    "crz": 1,
+    "rxx": 1,
+    "rzz": 1,
+}
 
+
+# ---------------------------------------------------------------------------
+# Export
+# ---------------------------------------------------------------------------
 
 def to_qasm(circuit: QuantumCircuit, lower: bool = True) -> str:
     """Serialise *circuit* to an OpenQASM 2.0 program string."""
@@ -50,21 +87,22 @@ def to_qasm(circuit: QuantumCircuit, lower: bool = True) -> str:
         if _needs_lowering(target):
             raise CircuitError("circuit contains instructions not expressible in OpenQASM 2.0")
 
+    names = _sanitize_register_names(target)
     lines: List[str] = ["OPENQASM 2.0;", 'include "qelib1.inc";']
     for qreg in target.qregs:
-        lines.append(f"qreg {qreg.name}[{qreg.size}];")
+        lines.append(f"qreg {names[qreg]}[{qreg.size}];")
     for creg in target.cregs:
-        lines.append(f"creg {creg.name}[{creg.size}];")
+        lines.append(f"creg {names[creg]}[{creg.size}];")
 
     for instr in target.data:
         op = instr.operation
-        qubit_refs = [f"{q.register.name}[{q.index}]" for q in instr.qubits]
+        qubit_refs = [f"{names[q.register]}[{q.index}]" for q in instr.qubits]
         if isinstance(op, Barrier):
             lines.append(f"barrier {', '.join(qubit_refs)};")
             continue
         if isinstance(op, Measure):
             clbit = instr.clbits[0]
-            lines.append(f"measure {qubit_refs[0]} -> {clbit.register.name}[{clbit.index}];")
+            lines.append(f"measure {qubit_refs[0]} -> {names[clbit.register]}[{clbit.index}];")
             continue
         if isinstance(op, Reset):
             lines.append(f"reset {qubit_refs[0]};")
@@ -94,3 +132,907 @@ def _needs_lowering(circuit: QuantumCircuit) -> bool:
 
 def _format_param(value: float) -> str:
     return format(float(value), ".12g")
+
+
+#: identifiers an emitted register must never shadow: OpenQASM 2.0 keywords,
+#: the builtin ``U``/``CX``/``pi``, and every gate name qelib1 brings in
+_QASM2_RESERVED = frozenset(
+    {
+        "OPENQASM",
+        "include",
+        "opaque",
+        "barrier",
+        "measure",
+        "reset",
+        "qreg",
+        "creg",
+        "gate",
+        "if",
+        "pi",
+        "U",
+        "CX",
+        "sin",
+        "cos",
+        "tan",
+        "exp",
+        "ln",
+        "sqrt",
+    }
+)
+
+
+def _sanitize_register_names(circuit: QuantumCircuit) -> Dict[object, str]:
+    """Map every register to a valid, unique OpenQASM 2.0 identifier.
+
+    OpenQASM 2.0 identifiers must match ``[a-z][A-Za-z0-9_]*`` and qregs and
+    cregs share a single namespace, while :class:`QuantumCircuit` is far more
+    permissive (uppercase names, reserved words, a qreg and a creg with the
+    same name).  Valid unique names pass through unchanged.
+    """
+    reserved = _QASM2_RESERVED | set(_qelib1_table())
+    mapping: Dict[object, str] = {}
+    used: set = set()
+    for reg in list(circuit.qregs) + list(circuit.cregs):
+        # ASCII-only: QASM2 identifiers are [a-z][A-Za-z0-9_]*, so unicode
+        # word characters must be replaced, not passed through
+        name = re.sub(r"[^A-Za-z0-9_]", "_", reg.name)
+        if re.match(r"[A-Z]", name):
+            name = name[0].lower() + name[1:]
+        if not re.match(r"[a-z]", name):
+            name = "r" + name
+        if name in reserved:
+            name += "_reg"
+        if name in used:
+            i = 0
+            while f"{name}{i}" in used:
+                i += 1
+            name = f"{name}{i}"
+        used.add(name)
+        mapping[reg] = name
+    return mapping
+
+
+# ---------------------------------------------------------------------------
+# Import: tokenizer
+# ---------------------------------------------------------------------------
+
+class _Token(NamedTuple):
+    type: str          # 'id' | 'int' | 'real' | 'string' | symbol | 'eof'
+    value: object
+    line: int
+    column: int
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>[ \t\r]+)
+  | (?P<comment>//[^\n]*)
+  | (?P<newline>\n)
+  | (?P<real>(\d+\.\d*|\.\d+)([eE][+-]?\d+)?|\d+[eE][+-]?\d+)
+  | (?P<int>\d+)
+  | (?P<id>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<string>"[^"\n]*")
+  | (?P<badstring>"[^"\n]*)
+  | (?P<symbol>->|==|[;,()\[\]{}+\-*/^])
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(source: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    pos, line, line_start = 0, 1, 0
+    length = len(source)
+    while pos < length:
+        match = _TOKEN_RE.match(source, pos)
+        if match is None:
+            raise QasmError(
+                f"unexpected character {source[pos]!r}", line, pos - line_start + 1
+            )
+        kind = match.lastgroup
+        text = match.group()
+        column = pos - line_start + 1
+        if kind == "newline":
+            line += 1
+            line_start = match.end()
+        elif kind == "real":
+            tokens.append(_Token("real", float(text), line, column))
+        elif kind == "int":
+            tokens.append(_Token("int", int(text), line, column))
+        elif kind == "id":
+            tokens.append(_Token("id", text, line, column))
+        elif kind == "string":
+            tokens.append(_Token("string", text[1:-1], line, column))
+        elif kind == "badstring":
+            raise QasmError("unterminated string", line, column)
+        elif kind == "symbol":
+            tokens.append(_Token(text, text, line, column))
+        pos = match.end()
+    tokens.append(_Token("eof", None, line, length - line_start + 1))
+    return tokens
+
+
+# ---------------------------------------------------------------------------
+# Import: gate table
+# ---------------------------------------------------------------------------
+
+class _NativeGate(NamedTuple):
+    """A QASM gate that maps directly onto a registry :class:`Gate`."""
+
+    num_params: int
+    num_qubits: int
+    build: Callable[[Sequence[float]], Gate]
+
+
+class _MacroGate(NamedTuple):
+    """A ``gate`` definition, inlined statement by statement at the call site."""
+
+    name: str
+    params: Tuple[str, ...]
+    qubits: Tuple[str, ...]
+    body: Tuple[tuple, ...]    # ('gate', name, param_exprs, qubit_names, loc) | ('barrier', names, loc)
+    size: int                  # total instructions one call expands to
+
+    @property
+    def num_params(self) -> int:
+        return len(self.params)
+
+    @property
+    def num_qubits(self) -> int:
+        return len(self.qubits)
+
+
+def _gate_size(spec) -> int:
+    """Instructions one call to *spec* expands to (natives count as one)."""
+    return spec.size if isinstance(spec, _MacroGate) else 1
+
+
+def _native(qasm_name: str, num_params: int, num_qubits: int, registry_name: str,
+            drop_params: bool = False) -> Tuple[str, _NativeGate]:
+    if drop_params:
+        def build(params: Sequence[float]) -> Gate:
+            return Gate(registry_name, num_qubits)
+    else:
+        def build(params: Sequence[float]) -> Gate:
+            return Gate(registry_name, num_qubits, list(params))
+    return qasm_name, _NativeGate(num_params, num_qubits, build)
+
+
+#: qelib1 gates with a one-to-one registry counterpart (name -> spec);
+#: ``u1``/``cu1``/``u`` are spelled ``p``/``cp``/``u3`` internally, ``u0`` is
+#: an identity-length marker whose duration parameter is dropped
+_QELIB1_NATIVE: Dict[str, _NativeGate] = dict(
+    [
+        _native("u3", 3, 1, "u3"),
+        _native("u2", 2, 1, "u2"),
+        _native("u1", 1, 1, "p"),
+        _native("u", 3, 1, "u3"),
+        _native("p", 1, 1, "p"),
+        _native("u0", 1, 1, "id", drop_params=True),
+        _native("id", 0, 1, "id"),
+        _native("x", 0, 1, "x"),
+        _native("y", 0, 1, "y"),
+        _native("z", 0, 1, "z"),
+        _native("h", 0, 1, "h"),
+        _native("s", 0, 1, "s"),
+        _native("sdg", 0, 1, "sdg"),
+        _native("t", 0, 1, "t"),
+        _native("tdg", 0, 1, "tdg"),
+        _native("sx", 0, 1, "sx"),
+        _native("rx", 1, 1, "rx"),
+        _native("ry", 1, 1, "ry"),
+        _native("rz", 1, 1, "rz"),
+        _native("cx", 0, 2, "cx"),
+        _native("cy", 0, 2, "cy"),
+        _native("cz", 0, 2, "cz"),
+        _native("ch", 0, 2, "ch"),
+        _native("swap", 0, 2, "swap"),
+        _native("crx", 1, 2, "crx"),
+        _native("cry", 1, 2, "cry"),
+        _native("crz", 1, 2, "crz"),
+        _native("cu1", 1, 2, "cp"),
+        _native("cp", 1, 2, "cp"),
+        _native("rxx", 1, 2, "rxx"),
+        _native("rzz", 1, 2, "rzz"),
+        _native("ccx", 0, 3, "ccx"),
+        _native("cswap", 0, 3, "cswap"),
+    ]
+)
+
+#: composite qelib1 gates without a registry counterpart, defined here in
+#: QASM itself and parsed with the same machinery as user ``gate`` statements
+#: (matrices match the qiskit qelib1.inc definitions, up to global phase)
+_QELIB1_MACRO_SRC = """
+gate cu3(theta, phi, lambda) c, t {
+  p((lambda + phi) / 2) c;
+  p((lambda - phi) / 2) t;
+  cx c, t;
+  u3(-theta / 2, 0, -(phi + lambda) / 2) t;
+  cx c, t;
+  u3(theta / 2, phi, 0) t;
+}
+gate sxdg a { s a; h a; s a; }
+gate csx c, t { h t; cu1(pi / 2) c, t; h t; }
+gate cu(theta, phi, lambda, gamma) c, t {
+  p(gamma) c;
+  p((lambda + phi) / 2) c;
+  p((lambda - phi) / 2) t;
+  cx c, t;
+  u3(-theta / 2, 0, -(phi + lambda) / 2) t;
+  cx c, t;
+  u3(theta / 2, phi, 0) t;
+}
+"""
+
+#: lazily-built full qelib1 gate table (natives + parsed macros); macro
+#: entries are immutable NamedTuples, so one table serves every parse --
+#: and it is the single source of qelib1 names for the sanitizer and the
+#: missing-include hint, so adding a macro above cannot leave them stale
+_QELIB1_TABLE: Optional[Dict[str, object]] = None
+
+
+def _qelib1_table() -> Dict[str, object]:
+    global _QELIB1_TABLE
+    if _QELIB1_TABLE is None:
+        table: Dict[str, object] = dict(_QELIB1_NATIVE)
+        macro_parser = _QasmParser(_QELIB1_MACRO_SRC)
+        macro_parser._gates = table
+        while macro_parser._peek().type != "eof":
+            macro_parser._parse_gate_definition()
+        _QELIB1_TABLE = table
+    return _QELIB1_TABLE
+
+#: parse-time ceiling on declared register sizes: far beyond any engine's
+#: reach, but small enough that a typo'd size raises a positioned QasmError
+#: instead of exhausting memory allocating bit objects
+_MAX_REGISTER_SIZE = 100_000
+
+#: statement keywords that must not name a gate — a definition would parse
+#: but its call site would be intercepted by the statement dispatcher
+_STATEMENT_KEYWORDS = frozenset(
+    {"OPENQASM", "include", "qreg", "creg", "gate", "opaque", "if", "measure", "reset", "barrier"}
+)
+
+#: nesting ceilings keeping pathological inputs from blowing the Python
+#: stack with a raw RecursionError instead of a positioned QasmError
+_MAX_EXPR_DEPTH = 64
+_MAX_GATE_EXPANSION_DEPTH = 128
+
+#: ceiling on the total number of instructions gate calls may expand to;
+#: chained doubling macros reach astronomic sizes in a few lines, so every
+#: macro carries its precomputed expansion size and bombs are rejected
+#: before any expansion work happens
+_MAX_EXPANDED_INSTRUCTIONS = 1_000_000
+
+_EXPR_FUNCTIONS: Dict[str, Callable[[float], float]] = {
+    "sin": math.sin,
+    "cos": math.cos,
+    "tan": math.tan,
+    "exp": math.exp,
+    "ln": math.log,
+    "sqrt": math.sqrt,
+}
+
+
+# ---------------------------------------------------------------------------
+# Import: recursive-descent parser
+# ---------------------------------------------------------------------------
+
+class _QasmParser:
+    """One-pass recursive-descent parser building a :class:`QuantumCircuit`."""
+
+    def __init__(self, source: str, name: str = "from_qasm"):
+        self._tokens = _tokenize(source)
+        self._pos = 0
+        self.circuit = QuantumCircuit(name=name)
+        self._qregs: Dict[str, QuantumRegister] = {}
+        self._cregs: Dict[str, ClassicalRegister] = {}
+        self._gates: Dict[str, Union[_NativeGate, _MacroGate]] = {
+            "U": _QELIB1_NATIVE["u3"],
+            "CX": _QELIB1_NATIVE["cx"],
+        }
+        self._included_qelib1 = False
+        self._expr_depth = 0
+        self._expanded_ops = 0
+
+    # -- token plumbing -----------------------------------------------------
+
+    def _peek(self) -> _Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> _Token:
+        token = self._tokens[self._pos]
+        if token.type != "eof":
+            self._pos += 1
+        return token
+
+    def _error(self, message: str, token: Optional[_Token] = None) -> QasmError:
+        token = token or self._peek()
+        if token.type == "eof":
+            message = f"unexpected end of file: {message}"
+        return QasmError(message, token.line, token.column)
+
+    def _expect(self, token_type: str, what: Optional[str] = None) -> _Token:
+        token = self._peek()
+        if token.type != token_type:
+            expected = what or f"'{token_type}'"
+            raise self._error(f"expected {expected}, found {self._describe(token)}", token)
+        return self._advance()
+
+    @staticmethod
+    def _describe(token: _Token) -> str:
+        if token.type == "eof":
+            return "end of file"
+        return f"{token.value!r}"
+
+    # -- program ------------------------------------------------------------
+
+    def parse(self) -> QuantumCircuit:
+        self._parse_header()
+        while self._peek().type != "eof":
+            self._parse_statement()
+        return self.circuit
+
+    def _parse_header(self) -> None:
+        token = self._peek()
+        if token.type != "id" or token.value != "OPENQASM":
+            raise self._error("expected 'OPENQASM 2.0;' header", token)
+        self._advance()
+        version = self._peek()
+        if version.type not in ("real", "int"):
+            raise self._error("expected a version number after 'OPENQASM'", version)
+        self._advance()
+        if float(version.value) != 2.0:
+            raise self._error(
+                f"unsupported OpenQASM version {version.value} (only 2.0 is supported)",
+                version,
+            )
+        self._expect(";")
+
+    def _parse_statement(self) -> None:
+        token = self._peek()
+        if token.type != "id":
+            raise self._error(f"expected a statement, found {self._describe(token)}", token)
+        keyword = token.value
+        if keyword == "include":
+            self._parse_include()
+        elif keyword in ("qreg", "creg"):
+            self._parse_register_decl()
+        elif keyword == "gate":
+            self._parse_gate_definition()
+        elif keyword == "opaque":
+            raise self._error(
+                "unsupported feature: 'opaque' gate declarations have no simulable "
+                "body; define the gate with a 'gate' block instead",
+                token,
+            )
+        elif keyword == "if":
+            raise self._error(
+                "unsupported feature: classically-conditioned operations "
+                "('if (c==n) ...') are not supported by the importer; rewrite the "
+                "circuit with deferred measurement",
+                token,
+            )
+        elif keyword == "measure":
+            self._parse_measure()
+        elif keyword == "reset":
+            self._parse_reset()
+        elif keyword == "barrier":
+            self._parse_barrier()
+        else:
+            self._parse_gate_call()
+
+    def _parse_include(self) -> None:
+        self._advance()
+        filename = self._expect("string", "a quoted filename")
+        self._expect(";")
+        if filename.value != "qelib1.inc":
+            raise self._error(
+                f'unsupported include "{filename.value}" (only "qelib1.inc" is bundled)',
+                filename,
+            )
+        if self._included_qelib1:
+            return
+        table = _qelib1_table()
+        for gate_name in table:
+            # a user gate defined before the include would be silently
+            # overwritten by update(); mirror the 'already defined' error
+            # the parser raises for the opposite ordering
+            if gate_name in self._gates:
+                raise self._error(
+                    f"gate {gate_name!r} is already defined "
+                    '(put include "qelib1.inc" before gate definitions)',
+                    filename,
+                )
+        self._included_qelib1 = True
+        self._gates.update(table)
+
+    def _parse_register_decl(self) -> None:
+        kind = self._advance()
+        name = self._expect("id", "a register name")
+        self._expect("[")
+        size = self._expect("int", "a register size")
+        self._expect("]")
+        self._expect(";")
+        if name.value in self._qregs or name.value in self._cregs:
+            raise self._error(f"register {name.value!r} is already declared", name)
+        if size.value <= 0:
+            raise self._error(f"register size must be positive, got {size.value}", size)
+        if size.value > _MAX_REGISTER_SIZE:
+            raise self._error(
+                f"register size {size.value} exceeds the supported maximum "
+                f"of {_MAX_REGISTER_SIZE}",
+                size,
+            )
+        if kind.value == "qreg":
+            register = QuantumRegister(size.value, name.value)
+            self._qregs[name.value] = register
+        else:
+            register = ClassicalRegister(size.value, name.value)
+            self._cregs[name.value] = register
+        self.circuit.add_register(register)
+
+    # -- gate definitions ---------------------------------------------------
+
+    def _parse_gate_definition(self) -> None:
+        self._advance()
+        name = self._expect("id", "a gate name")
+        if name.value in self._gates:
+            raise self._error(f"gate {name.value!r} is already defined", name)
+        if name.value in _STATEMENT_KEYWORDS or name.value == "pi":
+            raise self._error(
+                f"{name.value!r} cannot be used as a gate name", name
+            )
+        params: List[str] = []
+        if self._peek().type == "(":
+            self._advance()
+            if self._peek().type != ")":
+                params.append(self._expect_param_name())
+                while self._peek().type == ",":
+                    self._advance()
+                    params.append(self._expect_param_name())
+            self._expect(")")
+        qubits: List[str] = [self._expect("id", "a qubit argument name").value]
+        while self._peek().type == ",":
+            self._advance()
+            qubits.append(self._expect("id", "a qubit argument name").value)
+        if len(set(params)) != len(params) or len(set(qubits)) != len(qubits):
+            raise self._error(f"duplicate argument names in gate {name.value!r}", name)
+        self._expect("{")
+        body: List[tuple] = []
+        size = 0
+        while self._peek().type != "}":
+            statement = self._parse_gate_body_statement(name.value, params, qubits)
+            body.append(statement)
+            size += 1 if statement[0] == "barrier" else _gate_size(self._gates[statement[1]])
+        self._expect("}")
+        self._gates[name.value] = _MacroGate(
+            name.value, tuple(params), tuple(qubits), tuple(body), size
+        )
+
+    def _expect_param_name(self) -> str:
+        token = self._expect("id", "a parameter name")
+        if token.value == "pi" or token.value in _EXPR_FUNCTIONS:
+            # 'pi' would be silently shadowed by the constant in expression
+            # evaluation; function names would fail confusingly at use
+            raise self._error(
+                f"{token.value!r} cannot be used as a parameter name", token
+            )
+        return token.value
+
+    def _parse_gate_body_statement(
+        self, gate_name: str, params: Sequence[str], qubits: Sequence[str]
+    ) -> tuple:
+        token = self._peek()
+        if token.type != "id":
+            raise self._error(
+                f"expected a gate operation in the body of {gate_name!r}, "
+                f"found {self._describe(token)}",
+                token,
+            )
+        if token.value in ("measure", "reset", "if", "opaque", "gate"):
+            raise self._error(
+                f"{token.value!r} is not allowed inside a gate body "
+                "(only gate calls and barriers are)",
+                token,
+            )
+        if token.value == "barrier":
+            self._advance()
+            names = [self._expect_body_qubit(qubits)]
+            while self._peek().type == ",":
+                self._advance()
+                names.append(self._expect_body_qubit(qubits))
+            self._expect(";")
+            return ("barrier", tuple(names), (token.line, token.column))
+        call_name = self._advance()
+        exprs: List[tuple] = []
+        if self._peek().type == "(":
+            self._advance()
+            if self._peek().type != ")":
+                exprs.append(self._parse_expression(params))
+                while self._peek().type == ",":
+                    self._advance()
+                    exprs.append(self._parse_expression(params))
+            self._expect(")")
+        names = [self._expect_body_qubit(qubits)]
+        while self._peek().type == ",":
+            self._advance()
+            names.append(self._expect_body_qubit(qubits))
+        self._expect(";")
+        inner = self._gates.get(call_name.value)
+        if inner is None:
+            raise self._error(self._unknown_gate_message(call_name.value), call_name)
+        # arity must be checked here: at expansion time the binding zips
+        # formals against actuals and would silently drop extras
+        if len(exprs) != inner.num_params:
+            raise self._error(
+                f"gate {call_name.value!r} expects {inner.num_params} parameter(s), "
+                f"got {len(exprs)}",
+                call_name,
+            )
+        if len(names) != inner.num_qubits:
+            raise self._error(
+                f"gate {call_name.value!r} expects {inner.num_qubits} qubit "
+                f"argument(s), got {len(names)}",
+                call_name,
+            )
+        return (
+            "gate",
+            call_name.value,
+            tuple(exprs),
+            tuple(names),
+            (call_name.line, call_name.column),
+        )
+
+    def _expect_body_qubit(self, declared: Sequence[str]) -> str:
+        token = self._expect("id", "a qubit argument name")
+        if self._peek().type == "[":
+            raise self._error("register indexing is not allowed inside a gate body")
+        if token.value not in declared:
+            raise self._error(f"undeclared qubit argument {token.value!r}", token)
+        return token.value
+
+    # -- quantum operations --------------------------------------------------
+
+    def _parse_measure(self) -> None:
+        keyword = self._advance()
+        sources = self._parse_quantum_argument()
+        self._expect("->", "'->'")
+        targets = self._parse_classical_argument()
+        self._expect(";")
+        if len(sources) != len(targets):
+            raise self._error(
+                f"measure source and target sizes differ "
+                f"({len(sources)} qubits vs {len(targets)} bits)",
+                keyword,
+            )
+        for qubit, clbit in zip(sources, targets):
+            self.circuit.append(Measure(), [qubit], [clbit])
+
+    def _parse_reset(self) -> None:
+        self._advance()
+        for qubit in self._parse_quantum_argument():
+            self.circuit.append(Reset(), [qubit])
+        self._expect(";")
+
+    def _parse_barrier(self) -> None:
+        keyword = self._advance()
+        qubits: List[Qubit] = list(self._parse_quantum_argument())
+        while self._peek().type == ",":
+            self._advance()
+            qubits.extend(self._parse_quantum_argument())
+        self._expect(";")
+        try:
+            self.circuit.append(Barrier(len(qubits)), qubits)
+        except CircuitError as exc:
+            raise QasmError(str(exc), keyword.line, keyword.column) from exc
+
+    def _parse_gate_call(self) -> None:
+        name = self._advance()
+        spec = self._gates.get(name.value)
+        if spec is None:
+            raise self._error(self._unknown_gate_message(name.value), name)
+        params: List[float] = []
+        if self._peek().type == "(":
+            self._advance()
+            if self._peek().type != ")":
+                params.append(self._evaluate(self._parse_expression(()), {}))
+                while self._peek().type == ",":
+                    self._advance()
+                    params.append(self._evaluate(self._parse_expression(()), {}))
+            self._expect(")")
+        arguments = [self._parse_quantum_argument()]
+        while self._peek().type == ",":
+            self._advance()
+            arguments.append(self._parse_quantum_argument())
+        self._expect(";")
+        if len(params) != spec.num_params:
+            raise self._error(
+                f"gate {name.value!r} expects {spec.num_params} parameter(s), "
+                f"got {len(params)}",
+                name,
+            )
+        if len(arguments) != spec.num_qubits:
+            raise self._error(
+                f"gate {name.value!r} expects {spec.num_qubits} qubit argument(s), "
+                f"got {len(arguments)}",
+                name,
+            )
+        # register broadcast: every register-sized argument must have the same
+        # length; single qubits are repeated across the broadcast
+        widths = {len(arg) for arg in arguments if len(arg) > 1}
+        if len(widths) > 1:
+            raise self._error(
+                f"mismatched register sizes in {name.value!r} broadcast: "
+                f"{sorted(widths)}",
+                name,
+            )
+        repeat = widths.pop() if widths else 1
+        self._expanded_ops += _gate_size(spec) * repeat
+        if self._expanded_ops > _MAX_EXPANDED_INSTRUCTIONS:
+            raise self._error(
+                f"gate calls expand to more than {_MAX_EXPANDED_INSTRUCTIONS} "
+                f"instructions",
+                name,
+            )
+        try:
+            for i in range(repeat):
+                qubits = [arg[i] if len(arg) > 1 else arg[0] for arg in arguments]
+                self._apply_gate(spec, params, qubits, (name.line, name.column))
+        except CircuitError as exc:
+            raise QasmError(str(exc), name.line, name.column) from exc
+
+    def _apply_gate(
+        self,
+        spec: Union[_NativeGate, _MacroGate],
+        params: Sequence[float],
+        qubits: Sequence[Qubit],
+        loc: Tuple[int, int],
+        depth: int = 0,
+    ) -> None:
+        if depth > _MAX_GATE_EXPANSION_DEPTH:
+            raise QasmError(
+                f"gate expansion exceeds the maximum nesting depth of "
+                f"{_MAX_GATE_EXPANSION_DEPTH}",
+                *loc,
+            )
+        if isinstance(spec, _NativeGate):
+            # literals like 1e400 and overflowing +/-/* produce inf/nan
+            # without raising; reject them here, the one point every gate
+            # application passes through, instead of at simulation time
+            for value in params:
+                if not math.isfinite(value):
+                    raise QasmError(f"non-finite gate parameter {value}", *loc)
+            self.circuit.append(spec.build(params), list(qubits))
+            return
+        env = dict(zip(spec.params, params))
+        binding = dict(zip(spec.qubits, qubits))
+        for node in spec.body:
+            if node[0] == "barrier":
+                _, names, _loc = node
+                self.circuit.append(Barrier(len(names)), [binding[n] for n in names])
+                continue
+            _, call_name, exprs, names, _loc = node
+            inner = self._gates[call_name]
+            inner_params = [self._evaluate(expr, env) for expr in exprs]
+            self._apply_gate(inner, inner_params, [binding[n] for n in names], loc, depth + 1)
+
+    def _unknown_gate_message(self, name: str) -> str:
+        if not self._included_qelib1 and name in _qelib1_table():
+            return (
+                f"unknown gate {name!r} "
+                "(did you forget 'include \"qelib1.inc\";'?)"
+            )
+        return f"unknown gate {name!r}"
+
+    # -- arguments ------------------------------------------------------------
+
+    def _parse_quantum_argument(self) -> List[Qubit]:
+        return self._parse_argument(self._qregs, "quantum")
+
+    def _parse_classical_argument(self) -> List[Clbit]:
+        return self._parse_argument(self._cregs, "classical")
+
+    def _parse_argument(self, registers: Dict[str, object], kind: str) -> List:
+        name = self._expect("id", f"a {kind} register")
+        register = registers.get(name.value)
+        if register is None:
+            other = self._cregs if kind == "quantum" else self._qregs
+            if name.value in other:
+                raise self._error(
+                    f"{name.value!r} is a {'classical' if kind == 'quantum' else 'quantum'} "
+                    f"register, but a {kind} argument is required",
+                    name,
+                )
+            raise self._error(f"undeclared register {name.value!r}", name)
+        if self._peek().type != "[":
+            return list(register)
+        self._advance()
+        index = self._expect("int", "a bit index")
+        self._expect("]")
+        if not 0 <= index.value < register.size:
+            raise self._error(
+                f"index {index.value} is out of range for register "
+                f"{name.value!r} of size {register.size}",
+                index,
+            )
+        return [register[index.value]]
+
+    # -- parameter expressions -------------------------------------------------
+    #
+    # expr   := term (('+' | '-') term)*
+    # term   := factor (('*' | '/') factor)*
+    # factor := ('-' | '+') factor | power
+    # power  := atom ('^' factor)?
+    # atom   := real | int | 'pi' | param | fn '(' expr ')' | '(' expr ')'
+    #
+    # Expressions are parsed to a small tuple AST so gate-body expressions can
+    # be re-evaluated with each call's parameter binding.
+
+    def _parse_expression(self, params: Sequence[str]) -> tuple:
+        self._expr_depth += 1
+        if self._expr_depth > _MAX_EXPR_DEPTH:
+            raise self._error(
+                f"parameter expression nesting exceeds the maximum depth "
+                f"of {_MAX_EXPR_DEPTH}"
+            )
+        try:
+            node = self._parse_term(params)
+            while self._peek().type in ("+", "-"):
+                op = self._advance()
+                node = ("bin", op.type, node, self._parse_term(params), (op.line, op.column))
+            return node
+        finally:
+            self._expr_depth -= 1
+
+    def _parse_term(self, params: Sequence[str]) -> tuple:
+        node = self._parse_factor(params)
+        while self._peek().type in ("*", "/"):
+            op = self._advance()
+            node = ("bin", op.type, node, self._parse_factor(params), (op.line, op.column))
+        return node
+
+    def _parse_factor(self, params: Sequence[str]) -> tuple:
+        # consume sign chains iteratively: '-----1' must not recurse
+        negate = False
+        while self._peek().type in ("+", "-"):
+            if self._advance().type == "-":
+                negate = not negate
+        self._expr_depth += 1
+        if self._expr_depth > _MAX_EXPR_DEPTH:
+            # also guards '^' chains, whose right operands re-enter here
+            raise self._error(
+                f"parameter expression nesting exceeds the maximum depth "
+                f"of {_MAX_EXPR_DEPTH}"
+            )
+        try:
+            node = self._parse_power(params)
+        finally:
+            self._expr_depth -= 1
+        return ("neg", node) if negate else node
+
+    def _parse_power(self, params: Sequence[str]) -> tuple:
+        node = self._parse_atom(params)
+        if self._peek().type == "^":
+            op = self._advance()
+            node = ("bin", "^", node, self._parse_factor(params), (op.line, op.column))
+        return node
+
+    def _parse_atom(self, params: Sequence[str]) -> tuple:
+        token = self._peek()
+        if token.type in ("real", "int"):
+            self._advance()
+            return ("num", float(token.value))
+        if token.type == "(":
+            self._advance()
+            node = self._parse_expression(params)
+            self._expect(")")
+            return node
+        if token.type == "id":
+            self._advance()
+            if token.value == "pi":
+                return ("num", math.pi)
+            if token.value in _EXPR_FUNCTIONS:
+                self._expect("(")
+                node = self._parse_expression(params)
+                self._expect(")")
+                return ("call", token.value, node, (token.line, token.column))
+            if token.value in params:
+                return ("param", token.value)
+            raise self._error(
+                f"unknown identifier {token.value!r} in parameter expression", token
+            )
+        raise self._error(
+            f"expected a parameter expression, found {self._describe(token)}", token
+        )
+
+    def _evaluate(self, node: tuple, env: Dict[str, float]) -> float:
+        # explicit post-order work stack: a 20000-term '1+1+...' chain builds
+        # a left-deep AST iteratively, so evaluation must not recurse either
+        work: List[Tuple[tuple, bool]] = [(node, False)]
+        values: List[float] = []
+        while work:
+            current, ready = work.pop()
+            kind = current[0]
+            if kind == "num":
+                values.append(current[1])
+            elif kind == "param":
+                values.append(env[current[1]])
+            elif kind == "neg":
+                if ready:
+                    values.append(-values.pop())
+                else:
+                    work.append((current, True))
+                    work.append((current[1], False))
+            elif kind == "call":
+                _, fn, inner, loc = current
+                if ready:
+                    value = values.pop()
+                    try:
+                        values.append(_EXPR_FUNCTIONS[fn](value))
+                    except (ValueError, OverflowError) as exc:
+                        raise QasmError(
+                            f"invalid argument to {fn}(): {value}", *loc
+                        ) from exc
+                else:
+                    work.append((current, True))
+                    work.append((inner, False))
+            else:
+                _, op, left, right, loc = current
+                if ready:
+                    rhs = values.pop()
+                    lhs = values.pop()
+                    values.append(self._apply_binary(op, lhs, rhs, loc))
+                else:
+                    work.append((current, True))
+                    work.append((right, False))
+                    work.append((left, False))
+        return values[0]
+
+    @staticmethod
+    def _apply_binary(op: str, lhs: float, rhs: float, loc: Tuple[int, int]) -> float:
+        if op == "+":
+            return lhs + rhs
+        if op == "-":
+            return lhs - rhs
+        if op == "*":
+            return lhs * rhs
+        if op == "^":
+            try:
+                result = lhs ** rhs
+            except (OverflowError, ZeroDivisionError) as exc:
+                raise QasmError(f"cannot evaluate {lhs} ^ {rhs}", *loc) from exc
+            if isinstance(result, complex):
+                # e.g. (-2)^0.5 — gate parameters must stay real
+                raise QasmError(f"{lhs} ^ {rhs} is not a real number", *loc)
+            return result
+        if rhs == 0:
+            raise QasmError("division by zero in parameter expression", *loc)
+        return lhs / rhs
+
+
+# ---------------------------------------------------------------------------
+# Import: public API
+# ---------------------------------------------------------------------------
+
+def from_qasm(source: str, name: str = "from_qasm") -> QuantumCircuit:
+    """Parse an OpenQASM 2.0 program string into a :class:`QuantumCircuit`.
+
+    Raises :class:`~repro.qsim.exceptions.QasmError` (with the 1-based source
+    line and column) for syntax errors, undeclared registers, out-of-range
+    indices, unknown gates and unsupported features (``if``, ``opaque``,
+    includes other than ``qelib1.inc``).  See ``docs/qasm.md`` for the exact
+    supported subset and the qelib1 mapping table.
+    """
+    if source.startswith("\ufeff"):
+        source = source[1:]    # tolerate a UTF-8 BOM from Windows editors
+    return _QasmParser(source, name=name).parse()
+
+
+def from_qasm_file(path: Union[str, "os.PathLike"], name: Optional[str] = None) -> QuantumCircuit:
+    """Parse the OpenQASM 2.0 file at *path* (circuit named after the file)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    if name is None:
+        name = os.path.splitext(os.path.basename(str(path)))[0] or "from_qasm"
+    return from_qasm(source, name=name)

@@ -1,0 +1,315 @@
+"""Error-path tests for the OpenQASM 2.0 importer.
+
+Every rejected input must raise :class:`QasmError` — never a bare
+``ValueError`` or an internal crash — and the message must name the 1-based
+source line and column of the offending token.
+"""
+
+import pytest
+
+from repro.qsim import QasmError, from_qasm
+
+HEADER = 'OPENQASM 2.0;\ninclude "qelib1.inc";\n'
+
+
+def error_for(source: str) -> QasmError:
+    with pytest.raises(QasmError) as excinfo:
+        from_qasm(source)
+    return excinfo.value
+
+
+def test_qasm_error_is_not_a_bare_value_error():
+    assert not issubclass(QasmError, ValueError)
+
+
+class TestMalformedHeaders:
+    def test_missing_header(self):
+        err = error_for("qreg q[2];\n")
+        assert "OPENQASM 2.0" in str(err)
+        assert (err.line, err.column) == (1, 1)
+
+    def test_wrong_version(self):
+        err = error_for("OPENQASM 3.0;\nqreg q[1];")
+        assert "unsupported OpenQASM version" in str(err)
+        assert (err.line, err.column) == (1, 10)
+
+    def test_missing_version(self):
+        err = error_for("OPENQASM;\n")
+        assert "version number" in str(err)
+
+    def test_missing_header_semicolon(self):
+        err = error_for("OPENQASM 2.0\nqreg q[1];")
+        assert "expected ';'" in str(err)
+        assert err.line == 2
+
+    def test_empty_file(self):
+        err = error_for("")
+        assert "OPENQASM" in str(err)
+
+
+class TestTruncatedFiles:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "OPENQASM 2.0;\nqreg q[2]",
+            "OPENQASM 2.0;\nqreg q[",
+            HEADER + "qreg q[2];\nh q[0]",
+            HEADER + "qreg q[2];\ngate foo a { h a;",
+            HEADER + "qreg q[2];\ncreg c[2];\nmeasure q[0] ->",
+        ],
+    )
+    def test_unexpected_eof_is_named(self, source):
+        err = error_for(source)
+        assert "end of file" in str(err)
+        assert err.line is not None and err.column is not None
+
+    def test_unterminated_string(self):
+        err = error_for('OPENQASM 2.0;\ninclude "qelib1.inc\n')
+        assert "unterminated string" in str(err)
+        assert (err.line, err.column) == (2, 9)
+
+
+class TestBadReferences:
+    def test_out_of_range_qubit_index(self):
+        err = error_for(HEADER + "qreg q[3];\nx q[3];")
+        assert "out of range" in str(err)
+        assert "size 3" in str(err)
+        assert (err.line, err.column) == (4, 5)
+
+    def test_out_of_range_clbit_index(self):
+        err = error_for(HEADER + "qreg q[1];\ncreg c[1];\nmeasure q[0] -> c[4];")
+        assert "out of range" in str(err)
+
+    def test_undeclared_register(self):
+        err = error_for(HEADER + "qreg q[1];\nx r[0];")
+        assert "undeclared register 'r'" in str(err)
+
+    def test_classical_register_where_quantum_needed(self):
+        err = error_for(HEADER + "creg c[2];\nx c[0];")
+        assert "classical register" in str(err)
+
+    def test_quantum_register_as_measure_target(self):
+        err = error_for(HEADER + "qreg q[2];\nmeasure q[0] -> q[1];")
+        assert "quantum register" in str(err)
+
+    def test_duplicate_register_name_across_kinds(self):
+        err = error_for(HEADER + "qreg q[2];\ncreg q[2];")
+        assert "already declared" in str(err)
+
+    def test_zero_size_register(self):
+        err = error_for(HEADER + "qreg q[0];")
+        assert "positive" in str(err)
+
+    def test_absurd_register_size_rejected_before_allocation(self):
+        err = error_for(HEADER + "qreg q[9999999999];")
+        assert "exceeds the supported maximum" in str(err)
+        assert (err.line, err.column) == (3, 8)
+
+
+class TestBadGateUsage:
+    def test_unknown_gate(self):
+        err = error_for(HEADER + "qreg q[1];\nfrobnicate q[0];")
+        assert "unknown gate 'frobnicate'" in str(err)
+        assert (err.line, err.column) == (4, 1)
+
+    def test_qelib1_gate_without_include_gets_hint(self):
+        err = error_for("OPENQASM 2.0;\nqreg q[1];\nh q[0];")
+        assert "include \"qelib1.inc\"" in str(err)
+
+    def test_wrong_parameter_count(self):
+        err = error_for(HEADER + "qreg q[1];\nrz q[0];")
+        assert "expects 1 parameter(s), got 0" in str(err)
+
+    def test_parameters_on_parameterless_gate(self):
+        err = error_for(HEADER + "qreg q[1];\nx(0.5) q[0];")
+        assert "expects 0 parameter(s), got 1" in str(err)
+
+    def test_wrong_qubit_count(self):
+        err = error_for(HEADER + "qreg q[2];\ncx q[0];")
+        assert "expects 2 qubit argument(s), got 1" in str(err)
+
+    def test_duplicate_qubits(self):
+        err = error_for(HEADER + "qreg q[2];\ncx q[0], q[0];")
+        assert "duplicate qubits" in str(err)
+
+    def test_mismatched_broadcast(self):
+        err = error_for(HEADER + "qreg a[2];\nqreg b[3];\ncx a, b;")
+        assert "mismatched register sizes" in str(err)
+
+    def test_measure_size_mismatch(self):
+        err = error_for(HEADER + "qreg q[3];\ncreg c[2];\nmeasure q -> c;")
+        assert "sizes differ" in str(err)
+
+    def test_redefining_a_gate(self):
+        err = error_for(HEADER + "gate h a { x a; }\n")
+        assert "already defined" in str(err)
+
+    def test_user_gate_shadowed_by_later_include(self):
+        # the include must not silently overwrite an earlier user definition
+        err = error_for(
+            'OPENQASM 2.0;\ngate h a { U(0, 0, 0) a; }\ninclude "qelib1.inc";\n'
+        )
+        assert "already defined" in str(err)
+        assert err.line == 3
+
+    def test_pi_as_parameter_name_rejected(self):
+        err = error_for(HEADER + "gate bad(pi) a { rz(pi) a; }")
+        assert "'pi' cannot be used as a parameter name" in str(err)
+
+    def test_function_name_as_parameter_rejected(self):
+        err = error_for(HEADER + "gate bad(sin) a { rz(sin) a; }")
+        assert "'sin' cannot be used as a parameter name" in str(err)
+
+    @pytest.mark.parametrize("keyword", ["if", "measure", "barrier", "pi"])
+    def test_keyword_as_gate_name_rejected(self, keyword):
+        # a definition would parse, but calls would be swallowed by the
+        # statement dispatcher (or the pi constant) with misleading errors
+        err = error_for(HEADER + f"gate {keyword} a {{ x a; }}")
+        assert f"{keyword!r} cannot be used as a gate name" in str(err)
+
+    def test_unknown_identifier_in_expression(self):
+        err = error_for(HEADER + "qreg q[1];\nrz(theta) q[0];")
+        assert "unknown identifier 'theta'" in str(err)
+
+    def test_measure_inside_gate_body(self):
+        err = error_for(HEADER + "qreg q[1];\ngate bad a { measure a; }")
+        assert "not allowed inside a gate body" in str(err)
+
+    def test_indexing_inside_gate_body(self):
+        err = error_for(HEADER + "qreg q[1];\ngate bad a { x a[0]; }")
+        assert "indexing is not allowed" in str(err)
+
+    def test_undeclared_qubit_in_gate_body(self):
+        err = error_for(HEADER + "gate bad a { x b; }")
+        assert "undeclared qubit argument 'b'" in str(err)
+
+    def test_gate_body_call_with_too_many_qubits(self):
+        # regression: extra actuals used to be silently dropped by the binding
+        err = error_for(
+            HEADER + "gate w a, b { cx a, b; }\ngate g a, b, c { w a, b, c; }"
+        )
+        assert "'w' expects 2 qubit argument(s), got 3" in str(err)
+
+    def test_gate_body_call_with_too_few_qubits(self):
+        err = error_for(HEADER + "gate w a, b { cx a, b; }\ngate g a { w a; }")
+        assert "'w' expects 2 qubit argument(s), got 1" in str(err)
+
+    def test_gate_body_call_with_missing_params(self):
+        err = error_for(HEADER + "gate g a { rx a; }")
+        assert "'rx' expects 1 parameter(s), got 0" in str(err)
+
+
+class TestUnsupportedFeatures:
+    def test_if_statement(self):
+        err = error_for(HEADER + "qreg q[1];\ncreg c[1];\nif (c == 1) x q[0];")
+        assert "unsupported feature" in str(err)
+        assert "if" in str(err)
+        assert (err.line, err.column) == (5, 1)
+
+    def test_opaque_declaration(self):
+        err = error_for(HEADER + "opaque magic a, b;")
+        assert "unsupported feature" in str(err)
+        assert "opaque" in str(err)
+
+    def test_non_qelib1_include(self):
+        err = error_for('OPENQASM 2.0;\ninclude "mylib.inc";')
+        assert 'unsupported include "mylib.inc"' in str(err)
+
+
+class TestExpressionErrors:
+    def test_division_by_zero_names_position(self):
+        err = error_for(HEADER + "qreg q[1];\nrx(pi/0) q[0];")
+        assert "division by zero" in str(err)
+        assert (err.line, err.column) == (4, 6)
+
+    def test_division_by_zero_inside_gate_body(self):
+        err = error_for(
+            HEADER + "qreg q[1];\ngate bad(n) a { rx(pi/n) a; }\nbad(0) q[0];"
+        )
+        assert "division by zero" in str(err)
+
+    def test_invalid_function_argument(self):
+        err = error_for(HEADER + "qreg q[1];\nrx(sqrt(-1)) q[0];")
+        assert "invalid argument to sqrt()" in str(err)
+
+    def test_overflowing_power(self):
+        err = error_for(HEADER + "qreg q[1];\nrx(9 ^ 9999) q[0];")
+        assert "cannot evaluate" in str(err)
+        assert err.line == 4
+
+    def test_zero_to_negative_power(self):
+        err = error_for(HEADER + "qreg q[1];\nrx(0 ^ -1) q[0];")
+        assert "cannot evaluate" in str(err)
+
+    def test_complex_power_rejected(self):
+        err = error_for(HEADER + "qreg q[1];\nrx((-2) ^ 0.5) q[0];")
+        assert "not a real number" in str(err)
+
+    @pytest.mark.parametrize("expr", ["1e400", "1e308 * 10", "1e400 - 1e400"])
+    def test_non_finite_parameters_rejected(self, expr):
+        err = error_for(HEADER + f"qreg q[1];\nrx({expr}) q[0];")
+        assert "non-finite gate parameter" in str(err)
+        assert err.line == 4
+
+    def test_non_finite_parameter_from_macro_body(self):
+        err = error_for(
+            HEADER + "qreg q[1];\ngate g(t) a { rx(t * 1e308) a; }\ng(10) q[0];"
+        )
+        assert "non-finite gate parameter" in str(err)
+
+    def test_overflowing_function(self):
+        err = error_for(HEADER + "qreg q[1];\nrx(exp(99999)) q[0];")
+        assert "invalid argument to exp()" in str(err)
+
+    def test_deeply_nested_expression_rejected(self):
+        # must be a positioned QasmError, never a raw RecursionError
+        expr = "(" * 500 + "0" + ")" * 500
+        err = error_for(HEADER + f"qreg q[1];\nrx({expr}) q[0];")
+        assert "nesting exceeds the maximum depth" in str(err)
+        assert err.line == 4
+
+    def test_deep_gate_expansion_chain_rejected(self):
+        lines = ["gate g0 a { x a; }"]
+        lines += [f"gate g{i} a {{ g{i-1} a; }}" for i in range(1, 300)]
+        source = HEADER + "qreg q[1];\n" + "\n".join(lines) + "\ng299 q[0];"
+        err = error_for(source)
+        assert "gate expansion exceeds the maximum nesting depth" in str(err)
+        assert err.line is not None
+
+    def test_exponential_macro_expansion_rejected_instantly(self):
+        # doubling macros: g40 would expand to 2^40 instructions; the
+        # precomputed size must reject the call before any expansion work
+        lines = ["gate g0 a { x a; }"]
+        lines += [f"gate g{i} a {{ g{i-1} a; g{i-1} a; }}" for i in range(1, 41)]
+        source = HEADER + "qreg q[1];\n" + "\n".join(lines) + "\ng40 q[0];"
+        err = error_for(source)
+        assert "expand to more than" in str(err)
+
+    def test_pathological_power_chain_rejected(self):
+        err = error_for(HEADER + "qreg q[1];\nrx(1" + "^1" * 5000 + ") q[0];")
+        assert "nesting exceeds the maximum depth" in str(err)
+
+    def test_long_sign_chain_is_handled_iteratively(self):
+        # sign chains fold iteratively, so this is merely silly, not fatal
+        from repro.qsim import from_qasm
+
+        qc = from_qasm(HEADER + "qreg q[1];\nrx(" + "-" * 5000 + "1) q[0];")
+        assert qc.data[0].operation.params == [1.0]
+
+    def test_long_additive_chain_evaluates_iteratively(self):
+        # a left-deep AST from 20000 '+' terms must evaluate, not recurse
+        from repro.qsim import from_qasm
+
+        qc = from_qasm(HEADER + "qreg q[1];\nrz(" + "+".join(["1"] * 20000) + ") q[0];")
+        assert qc.data[0].operation.params == [20000.0]
+
+
+class TestLexicalErrors:
+    def test_unexpected_character(self):
+        err = error_for(HEADER + "qreg q[1];\nx q[0]; @")
+        assert "unexpected character '@'" in str(err)
+        assert (err.line, err.column) == (4, 9)
+
+    def test_stray_number_statement(self):
+        err = error_for(HEADER + "qreg q[1];\n42;")
+        assert "expected a statement" in str(err)

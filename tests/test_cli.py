@@ -1,8 +1,12 @@
 """Tests for the ``qutes`` command-line runner."""
 
+from pathlib import Path
+
 import pytest
 
 from repro.cli import build_arg_parser, main
+
+CIRCUITS_DIR = Path(__file__).resolve().parents[1] / "benchmarks" / "circuits"
 
 
 @pytest.fixture
@@ -106,6 +110,114 @@ class TestBackendSelection:
         with pytest.raises(SystemExit):
             main([])
         assert "program argument is required" in capsys.readouterr().err
+
+
+@pytest.fixture
+def qasm_file(tmp_path):
+    path = tmp_path / "bell.qasm"
+    path.write_text(
+        'OPENQASM 2.0;\ninclude "qelib1.inc";\n'
+        "qreg q[2];\ncreg c[2];\nh q[0];\ncx q[0], q[1];\nmeasure q -> c;\n"
+    )
+    return str(path)
+
+
+class TestFromQasm:
+    def test_runs_qasm_circuit(self, qasm_file, capsys):
+        assert main(["--from-qasm", qasm_file, "--seed", "1", "--shots", "64"]) == 0
+        out = capsys.readouterr().out
+        counts = dict(line.split() for line in out.strip().splitlines())
+        assert set(counts) == {"00", "11"}
+        assert sum(int(v) for v in counts.values()) == 64
+
+    def test_composes_with_every_backend(self, qasm_file, capsys):
+        for backend in ["statevector", "density_matrix", "stabilizer"]:
+            assert main(
+                ["--from-qasm", qasm_file, "--backend", backend, "--seed", "2", "--shots", "32"]
+            ) == 0
+            assert capsys.readouterr().out
+
+    def test_composes_with_noise(self, qasm_file, capsys):
+        argv = ["--from-qasm", qasm_file, "--noise", "0.05", "--noise-model", "bit_flip",
+                "--seed", "3", "--shots", "32", "--backend", "stabilizer"]
+        assert main(argv) == 0
+        assert capsys.readouterr().out
+
+    def test_measurement_free_circuit_gets_measure_all(self, tmp_path, capsys):
+        path = tmp_path / "plus.qasm"
+        path.write_text('OPENQASM 2.0;\ninclude "qelib1.inc";\nqreg q[1];\nx q[0];\n')
+        assert main(["--from-qasm", str(path), "--seed", "1", "--shots", "16"]) == 0
+        assert capsys.readouterr().out.strip() == "1 16"
+
+    def test_100_plus_qubit_clifford_file_on_stabilizer(self, capsys):
+        path = CIRCUITS_DIR / "ghz_n127.qasm"
+        argv = ["--from-qasm", str(path), "--backend", "stabilizer", "--seed", "5", "--shots", "128"]
+        assert main(argv) == 0
+        counts = dict(
+            line.split() for line in capsys.readouterr().out.strip().splitlines()
+        )
+        assert set(counts) == {"0" * 127, "1" * 127}
+        assert sum(int(v) for v in counts.values()) == 128
+
+    def test_non_clifford_on_stabilizer_fails_cleanly(self, tmp_path, capsys):
+        path = tmp_path / "t.qasm"
+        path.write_text('OPENQASM 2.0;\ninclude "qelib1.inc";\nqreg q[1];\nt q[0];\n')
+        assert main(["--from-qasm", str(path), "--backend", "stabilizer"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_qasm_flag_reexports(self, qasm_file, capsys):
+        assert main(["--from-qasm", qasm_file, "--qasm", "--seed", "1", "--shots", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "OPENQASM 2.0;" in out
+        assert "cx q[0], q[1];" in out
+
+    def test_show_circuit(self, qasm_file, capsys):
+        assert main(["--from-qasm", qasm_file, "--show-circuit", "--seed", "1", "--shots", "4"]) == 0
+        assert "--- circuit ---" in capsys.readouterr().out
+
+    def test_parse_error_names_line_and_column(self, tmp_path, capsys):
+        path = tmp_path / "broken.qasm"
+        path.write_text('OPENQASM 2.0;\ninclude "qelib1.inc";\nqreg q[2];\nh q[7];\n')
+        assert main(["--from-qasm", str(path)]) == 1
+        err = capsys.readouterr().err
+        assert "line 4" in err and "column" in err
+
+    def test_missing_file(self, capsys):
+        assert main(["--from-qasm", "/nonexistent/x.qasm"]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_directory_fails_cleanly(self, tmp_path, capsys):
+        assert main(["--from-qasm", str(tmp_path)]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_binary_file_fails_cleanly(self, tmp_path, capsys):
+        path = tmp_path / "blob.qasm"
+        path.write_bytes(b"\xff\xfe\x00\x01binary")
+        assert main(["--from-qasm", str(path)]) == 1
+        assert "not a UTF-8 text file" in capsys.readouterr().err
+
+    def test_header_only_program_is_a_clean_noop(self, tmp_path, capsys):
+        path = tmp_path / "empty.qasm"
+        path.write_text('OPENQASM 2.0;\ninclude "qelib1.inc";\n')
+        assert main(["--from-qasm", str(path)]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert "declares no qubits" in captured.err
+
+    def test_conflicts_with_program_argument(self, qasm_file, program_file, capsys):
+        with pytest.raises(SystemExit):
+            main([program_file, "--from-qasm", qasm_file])
+        assert "not both" in capsys.readouterr().err
+
+    def test_conflicts_with_ast_flag(self, qasm_file, capsys):
+        with pytest.raises(SystemExit):
+            main(["--from-qasm", qasm_file, "--ast"])
+        assert "--ast" in capsys.readouterr().err
+
+    def test_conflicts_with_show_variables_flag(self, qasm_file, capsys):
+        with pytest.raises(SystemExit):
+            main(["--from-qasm", qasm_file, "--show-variables"])
+        assert "--show-variables" in capsys.readouterr().err
 
 
 class TestNoiseOptions:
