@@ -1,0 +1,208 @@
+#!/usr/bin/env python3
+"""End-to-end throughput benchmark for the durable execution service.
+
+Measures **jobs/sec** through the full service stack -- submit into the
+sqlite store, worker fleet claims/executes/records, results read back --
+under the service's expected traffic shape: many submissions of the *same*
+circuit (the million-user pattern is many users running the same textbook
+algorithms).  Two phases are timed:
+
+* **cold** -- a fresh database and one *distinct* circuit per job: every
+  job pays the compile pipeline (QASM parse, peephole optimization,
+  fusion);
+* **warm** -- the identical jobs resubmitted: the compiled-circuit cache
+  serves every experiment, so workers skip transpile/fusion entirely.
+
+The ratio is the cache's end-to-end payoff and is gated: the run fails if
+warm throughput is below ``--min-speedup`` x cold (default 2.0; pass 0 to
+disable the gate).  Counts are also asserted bit-identical between the
+phases -- a cache that changes results would be worse than no cache.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_service.py
+    PYTHONPATH=src python benchmarks/bench_service.py --jobs 20 --workers 2 --out service.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import tempfile
+import time
+from typing import Dict, List
+
+import numpy as np
+
+from repro.qsim import QuantumCircuit
+from repro.qsim.service import BatchPayload, JobStore
+from repro.qsim.service.worker import WorkerFleet
+
+from benchutil import add_out_argument, write_results
+
+#: gate mix of the generated workload circuit (weights favour 1q gates so
+#: the fusion pass has real work to do)
+ONE_QUBIT = ["h", "x", "z", "s", "t"]
+ROTATIONS = ["rx", "ry", "rz"]
+
+
+def workload_circuit(num_qubits: int, num_gates: int, seed: int) -> QuantumCircuit:
+    rng = np.random.default_rng(seed)
+    qc = QuantumCircuit(num_qubits, num_qubits, name=f"service-workload-{seed}")
+    for _ in range(num_gates):
+        draw = rng.random()
+        if draw < 0.5:
+            getattr(qc, ONE_QUBIT[rng.integers(len(ONE_QUBIT))])(int(rng.integers(num_qubits)))
+        elif draw < 0.8:
+            gate = ROTATIONS[rng.integers(len(ROTATIONS))]
+            getattr(qc, gate)(float(rng.random() * 3.0), int(rng.integers(num_qubits)))
+        else:
+            a, b = rng.choice(num_qubits, size=2, replace=False)
+            qc.cx(int(a), int(b))
+    qc.measure(list(range(num_qubits)), list(range(num_qubits)))
+    return qc
+
+
+def drain(db_path: str, jobs: int, workers: int) -> float:
+    """Run a burst fleet until the queue is empty; return elapsed seconds."""
+    started = time.perf_counter()
+    fleet = WorkerFleet(db_path, workers=workers, burst=True, lease_timeout=30.0)
+    fleet.start()
+    if not fleet.join(timeout=600.0):
+        fleet.terminate()
+        raise SystemExit("error: worker fleet did not drain the queue in time")
+    return time.perf_counter() - started
+
+
+def run_phase(
+    store: JobStore, db_path: str, payloads: List[str], workers: int
+) -> Dict[str, object]:
+    jobs = len(payloads)
+    job_ids = [store.submit(payload_json) for payload_json in payloads]
+    elapsed = drain(db_path, jobs, workers)
+    counts: List[Dict[str, int]] = []
+    cache_totals = {"hits": 0, "misses": 0}
+    for job_id in job_ids:
+        record = store.get(job_id)
+        if record.state != "DONE":
+            raise SystemExit(
+                f"error: job {job_id} ended {record.state}: {record.error}"
+            )
+        result = record.result_dict()
+        counts.append(result["results"][0]["counts"])
+        cache = result["metadata"]["cache"]
+        cache_totals["hits"] += cache["hits"]
+        cache_totals["misses"] += cache["misses"]
+    return {
+        "elapsed_s": elapsed,
+        "jobs_per_sec": jobs / elapsed,
+        "cache_hits": cache_totals["hits"],
+        "cache_misses": cache_totals["misses"],
+        "counts": counts,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int, default=20, help="jobs per phase")
+    parser.add_argument("--workers", type=int, default=2, help="worker processes")
+    parser.add_argument("--qubits", type=int, default=12)
+    parser.add_argument("--gates", type=int, default=600)
+    parser.add_argument("--shots", type=int, default=64)
+    parser.add_argument("--seed", type=int, default=11, help="base seed (workload + runs)")
+    parser.add_argument("--backend", default="statevector")
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=2.0,
+        help="fail unless warm/cold throughput ratio reaches this (0 disables)",
+    )
+    parser.add_argument(
+        "--db",
+        default=None,
+        help="service database path (default: a fresh temporary file)",
+    )
+    add_out_argument(parser)
+    args = parser.parse_args()
+
+    # one distinct circuit per job, so the cold phase is genuinely cold;
+    # the warm phase resubmits the identical payloads (repeat traffic)
+    payloads = [
+        BatchPayload.from_circuits(
+            [workload_circuit(args.qubits, args.gates, args.seed + index)],
+            shots=args.shots,
+            seed=args.seed,
+            backend=args.backend,
+        ).to_json()
+        for index in range(args.jobs)
+    ]
+
+    with tempfile.TemporaryDirectory() as tmpdir:
+        db_path = args.db or os.path.join(tmpdir, "bench-service.db")
+        store = JobStore(db_path)
+
+        print(
+            f"workload: {args.jobs} jobs x 1 distinct circuit ({args.qubits}q/"
+            f"{args.gates} gates, {args.shots} shots), {args.workers} worker(s),"
+            f" backend {args.backend}"
+        )
+        cold = run_phase(store, db_path, payloads, args.workers)
+        warm = run_phase(store, db_path, payloads, args.workers)
+        store.close()
+
+    speedup = warm["jobs_per_sec"] / cold["jobs_per_sec"]
+    for label, phase in (("cold", cold), ("warm", warm)):
+        print(
+            f"  {label}: {phase['jobs_per_sec']:8.2f} jobs/s"
+            f"  ({phase['elapsed_s']:.3f} s; cache {phase['cache_hits']} hits,"
+            f" {phase['cache_misses']} misses)"
+        )
+    print(f"  warm/cold speedup: {speedup:.2f}x")
+
+    if cold["counts"] != warm["counts"]:
+        print("error: warm counts differ from cold counts (cache broke results)",
+              file=sys.stderr)
+        return 1
+
+    rows = [
+        {
+            "phase": label,
+            "jobs": args.jobs,
+            "workers": args.workers,
+            "elapsed_s": phase["elapsed_s"],
+            "jobs_per_sec": phase["jobs_per_sec"],
+            "cache_hits": phase["cache_hits"],
+            "cache_misses": phase["cache_misses"],
+        }
+        for label, phase in (("cold", cold), ("warm", warm))
+    ]
+    write_results(
+        args.out,
+        "service",
+        config={
+            "jobs": args.jobs,
+            "workers": args.workers,
+            "qubits": args.qubits,
+            "gates": args.gates,
+            "shots": args.shots,
+            "seed": args.seed,
+            "backend": args.backend,
+        },
+        results=rows,
+        speedup=speedup,
+        counts_bit_equal=True,
+    )
+
+    if args.min_speedup > 0 and speedup < args.min_speedup:
+        print(
+            f"error: warm throughput only {speedup:.2f}x cold"
+            f" (gate: {args.min_speedup}x)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

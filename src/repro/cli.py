@@ -1,8 +1,13 @@
-"""Command-line runner: ``qutes program.qut``.
+"""Command-line runner: ``qutes program.qut`` plus the execution service.
 
 Options mirror what a user of the original implementation gets from its
 runner scripts: print the program output, optionally dump the generated
 circuit (text or OpenQASM 2.0) and the final values of global variables.
+
+The durable execution service (see ``docs/service.md``) is exposed as
+verbs -- ``qutes submit / status / result / cancel / worker /
+queue-stats`` -- sharing the familiar ``--backend/--noise/--shots/--seed``
+flags with the direct runner.
 """
 
 from __future__ import annotations
@@ -14,10 +19,16 @@ from typing import List, Optional
 
 from .lang import QutesError, run_file
 from .qsim.backends import NOISE_CHANNELS, build_noisy_backend, resolve_backend
-from .qsim.exceptions import BackendError, QasmError, SimulationError
+from .qsim.exceptions import BackendError, CircuitError, QasmError, SimulationError
 from .qsim.qasm import from_qasm_file, to_qasm
 
-__all__ = ["main", "build_arg_parser"]
+__all__ = ["main", "build_arg_parser", "build_service_parser", "SERVICE_VERBS"]
+
+#: first-positional-argument verbs that dispatch to the execution service
+SERVICE_VERBS = ("submit", "status", "result", "cancel", "worker", "queue-stats")
+
+#: default service database (override per call with --db)
+DEFAULT_SERVICE_DB = os.environ.get("QUTES_SERVICE_DB", "qutes-service.db")
 
 
 def build_arg_parser() -> argparse.ArgumentParser:
@@ -25,6 +36,9 @@ def build_arg_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="qutes",
         description="Run a Qutes program on the bundled simulation backends.",
+        epilog="Service verbs (durable job queue; see docs/service.md): "
+        + " / ".join(SERVICE_VERBS)
+        + ".  Run `qutes <verb> --help` for their options.",
     )
     parser.add_argument("program", nargs="?", default=None, help="path to the .qut source file")
     parser.add_argument(
@@ -69,6 +83,200 @@ def build_arg_parser() -> argparse.ArgumentParser:
     parser.add_argument("--show-variables", action="store_true", help="print final global variables")
     parser.add_argument("--ast", action="store_true", help="print the parsed AST and exit")
     return parser
+
+
+def build_service_parser() -> argparse.ArgumentParser:
+    """Argument parser for the service verbs (exposed separately for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="qutes",
+        description="Durable execution service: submit jobs, run workers, collect results.",
+    )
+    verbs = parser.add_subparsers(dest="verb", required=True)
+
+    def add_db(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--db",
+            default=DEFAULT_SERVICE_DB,
+            help="service database path (default: %(default)s, or $QUTES_SERVICE_DB)",
+        )
+
+    submit = verbs.add_parser(
+        "submit", help="queue OpenQASM 2.0 circuit files as one durable job"
+    )
+    submit.add_argument("files", nargs="+", metavar="FILE", help="OpenQASM 2.0 circuit files")
+    add_db(submit)
+    submit.add_argument("--backend", default="statevector", metavar="NAME")
+    submit.add_argument("--shots", type=int, default=1024)
+    submit.add_argument("--seed", type=int, default=None)
+    submit.add_argument("--noise", type=float, default=None, metavar="P")
+    submit.add_argument("--noise-model", default="depolarizing", choices=sorted(NOISE_CHANNELS))
+    submit.add_argument(
+        "--max-attempts", type=int, default=3, help="retry budget before FAILED"
+    )
+
+    status = verbs.add_parser("status", help="print a job's lifecycle state")
+    status.add_argument("job_id")
+    add_db(status)
+
+    result = verbs.add_parser("result", help="print a finished job's counts")
+    result.add_argument("job_id")
+    add_db(result)
+    result.add_argument(
+        "--wait",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="poll until the job is terminal (at most SECONDS)",
+    )
+
+    cancel = verbs.add_parser("cancel", help="cancel a queued or running job")
+    cancel.add_argument("job_id")
+    add_db(cancel)
+
+    worker = verbs.add_parser("worker", help="run worker processes draining the queue")
+    add_db(worker)
+    worker.add_argument("--workers", type=int, default=1)
+    worker.add_argument("--burst", action="store_true", help="exit when the queue is empty")
+    worker.add_argument("--max-jobs", type=int, default=None)
+    worker.add_argument("--lease", type=float, default=None, help="lease timeout (s)")
+    worker.add_argument("--poll", type=float, default=None, help="idle poll interval (s)")
+    worker.add_argument("--retry-delay", type=float, default=None, help="retry backoff base (s)")
+
+    stats = verbs.add_parser("queue-stats", help="print queue depth and cache statistics")
+    add_db(stats)
+    return parser
+
+
+def _service_submit(args: argparse.Namespace) -> int:
+    from .qsim.service import BatchPayload, JobStore
+
+    circuits = []
+    for path in args.files:
+        try:
+            circuits.append(from_qasm_file(path))
+        except FileNotFoundError:
+            print(f"error: no such file: {path}", file=sys.stderr)
+            return 2
+        except OSError as exc:
+            print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+            return 2
+        except QasmError as exc:
+            print(f"error: {path}: {exc}", file=sys.stderr)
+            return 1
+    from .qsim.service import ServiceError
+
+    try:
+        payload = BatchPayload.from_circuits(
+            circuits,
+            shots=args.shots,
+            seed=args.seed,
+            backend=args.backend,
+            noise_p=args.noise,
+            noise_channel=args.noise_model,
+        )
+        with JobStore(args.db) as store:
+            job_id = store.submit(payload.to_json(), max_attempts=args.max_attempts)
+    except (CircuitError, BackendError, SimulationError, ServiceError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(job_id)
+    return 0
+
+
+def _print_counts(result_dict: dict) -> None:
+    experiments = result_dict.get("results", [])
+    for experiment in experiments:
+        if len(experiments) > 1:
+            print(f"--- {experiment.get('name', '?')} ---")
+        for bitstring, count in sorted(
+            experiment.get("counts", {}).items(), key=lambda kv: (-kv[1], kv[0])
+        ):
+            print(f"{bitstring} {count}")
+
+
+def _service_other(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from .qsim.service import JobStore, ServiceError, worker_loop
+    from .qsim.service.worker import WorkerFleet
+
+    if args.verb == "worker":
+        kwargs = {
+            key: value
+            for key, value in (
+                ("lease_timeout", args.lease),
+                ("poll_interval", args.poll),
+                ("retry_delay", args.retry_delay),
+                ("max_jobs", args.max_jobs),
+            )
+            if value is not None
+        }
+        kwargs["burst"] = args.burst
+        if args.workers <= 1:
+            processed = worker_loop(args.db, **kwargs)
+            print(f"worker processed {processed} job(s)")
+        else:
+            fleet = WorkerFleet(args.db, workers=args.workers, **kwargs)
+            fleet.start()
+            fleet.join()
+        return 0
+
+    try:
+        with JobStore(args.db) as store:
+            if args.verb == "status":
+                record = store.get(args.job_id)
+                line = f"{record.job_id} {record.state} attempts={record.attempts}"
+                if record.worker_id:
+                    line += f" worker={record.worker_id}"
+                print(line)
+                if record.state == "FAILED" and record.error:
+                    print(record.error.rstrip().splitlines()[-1], file=sys.stderr)
+                return 0
+            if args.verb == "cancel":
+                if store.cancel(args.job_id):
+                    print(f"{args.job_id} CANCELLED")
+                    return 0
+                record = store.get(args.job_id)
+                print(
+                    f"error: job is already terminal ({record.state})", file=sys.stderr
+                )
+                return 1
+            if args.verb == "queue-stats":
+                stats = store.stats()
+                for state, count in stats["states"].items():
+                    print(f"{state} {count}")
+                print(f"cache-entries {stats['cache_entries']}")
+                print(f"cache-disk-hits {stats['cache_disk_hits']}")
+                return 0
+            # result
+            record = store.get(args.job_id)
+            deadline = None if args.wait is None else _time.monotonic() + args.wait
+            while not record.is_terminal:
+                if deadline is None or _time.monotonic() >= deadline:
+                    print(
+                        f"error: job {args.job_id} not finished (state {record.state})",
+                        file=sys.stderr,
+                    )
+                    return 1
+                _time.sleep(0.1)
+                record = store.get(args.job_id)
+            if record.state != "DONE":
+                print(f"error: job ended {record.state}", file=sys.stderr)
+                if record.error:
+                    print(record.error.rstrip().splitlines()[-1], file=sys.stderr)
+                return 1
+            _print_counts(record.result_dict())
+            return 0
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+def _service_main(argv: List[str]) -> int:
+    args = build_service_parser().parse_args(argv)
+    if args.verb == "submit":
+        return _service_submit(args)
+    return _service_other(args)
 
 
 def _run_qasm_file(args: argparse.Namespace) -> int:
@@ -138,6 +346,10 @@ def main(argv: Optional[List[str]] = None) -> int:
 
 
 def _main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] in SERVICE_VERBS:
+        return _service_main(list(argv))
     parser = build_arg_parser()
     args = parser.parse_args(argv)
     if args.list_backends:

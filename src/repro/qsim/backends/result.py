@@ -65,6 +65,42 @@ class ExperimentResult:
         """Counts keyed by the integer value of the bitstring."""
         return {int(key, 2): value for key, value in self.counts.items()}
 
+    def to_dict(self) -> Dict[str, Any]:
+        """Stable JSON-safe form of this experiment's artifacts.
+
+        This is the serialization contract consumed by the execution
+        service's job store: counts, shots, seed, timing, per-shot memory
+        and metadata round-trip exactly; the ``statevector`` /
+        ``density_matrix`` arrays are deliberately **not** part of it (they
+        are engine-internal, huge, and not JSON-representable) and come
+        back as ``None`` after a round trip.
+        """
+        return {
+            "name": self.name,
+            "counts": dict(self.counts),
+            "shots": self.shots,
+            "seed": self.seed,
+            "time_taken": self.time_taken,
+            "memory": None if self.memory is None else list(self.memory),
+            "metadata": dict(self.metadata),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ExperimentResult":
+        """Rebuild an experiment from :meth:`to_dict` output."""
+        try:
+            return cls(
+                name=data["name"],
+                counts={str(k): int(v) for k, v in data["counts"].items()},
+                shots=int(data["shots"]),
+                seed=data.get("seed"),
+                time_taken=float(data.get("time_taken", 0.0)),
+                memory=data.get("memory"),
+                metadata=dict(data.get("metadata", {})),
+            )
+        except (KeyError, TypeError, AttributeError) as exc:
+            raise BackendError(f"malformed experiment dict: {exc}") from exc
+
 
 @dataclass
 class Result:
@@ -125,3 +161,30 @@ class Result:
         if memory is None:
             raise BackendError("experiment was run without memory=True")
         return memory
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Stable JSON-safe form of the whole result (see
+        :meth:`ExperimentResult.to_dict` for what round-trips)."""
+        return {
+            "backend_name": self.backend_name,
+            "job_id": self.job_id,
+            "results": [experiment.to_dict() for experiment in self.results],
+            "time_taken": self.time_taken,
+            "success": self.success,
+            "metadata": dict(self.metadata),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Result":
+        """Rebuild a result from :meth:`to_dict` output."""
+        try:
+            return cls(
+                backend_name=data["backend_name"],
+                job_id=data["job_id"],
+                results=[ExperimentResult.from_dict(entry) for entry in data["results"]],
+                time_taken=float(data.get("time_taken", 0.0)),
+                success=bool(data.get("success", True)),
+                metadata=dict(data.get("metadata", {})),
+            )
+        except (KeyError, TypeError, AttributeError) as exc:
+            raise BackendError(f"malformed result dict: {exc}") from exc

@@ -1,0 +1,35 @@
+"""Durable execution service: job queue, worker fleet, compiled-circuit cache.
+
+:mod:`repro.qsim.backends` made ``Backend.run`` a uniform *library* call;
+this package promotes it to a *service*: circuits are submitted as durable
+jobs into a sqlite-backed queue (:mod:`~repro.qsim.service.store`), worker
+processes drain the queue with heartbeats, lease timeouts and
+retry-with-backoff (:mod:`~repro.qsim.service.worker`), and a
+compiled-circuit cache keyed by (circuit QASM, backend, noise config) lets
+repeat traffic skip the transpile/fusion pipeline entirely
+(:mod:`~repro.qsim.service.cache`).  One submission carries many circuits
+plus shared run config as a qobj-style batch payload
+(:mod:`~repro.qsim.service.payload`), serialized through the OpenQASM 2.0
+round-trip so the store only ever holds text -- never pickles.
+
+The CLI exposes the whole lifecycle as ``qutes submit / status / result /
+cancel / worker / queue-stats``; see ``docs/service.md`` for the guide and
+``tests/qsim/service/`` for the crash/concurrency harness that proves the
+semantics.
+"""
+
+from .cache import CircuitCache
+from .payload import BatchPayload
+from .store import JobRecord, JobStore, ServiceError
+from .worker import WorkerFleet, execute_payload, worker_loop
+
+__all__ = [
+    "BatchPayload",
+    "CircuitCache",
+    "JobRecord",
+    "JobStore",
+    "ServiceError",
+    "WorkerFleet",
+    "execute_payload",
+    "worker_loop",
+]

@@ -1,0 +1,166 @@
+"""Compiled-circuit cache: repeat traffic skips the compile pipeline.
+
+The service's expected traffic shape is many users submitting the *same*
+circuits (textbook algorithms, benchmark corpora), so every worker compiles
+through this cache.  Entries are keyed by a SHA-256 over the triple
+``(submitted circuit QASM, canonical backend name, noise config)`` -- the
+exact inputs the compile pipeline depends on -- and live in two layers:
+
+* a **persistent layer** (the ``compiled_circuits`` table of the
+  :class:`~repro.qsim.service.store.JobStore`) holding the compiled
+  circuit *as OpenQASM text*, shared by every worker on the database and
+  surviving restarts;
+* a **per-process memory layer** (bounded LRU) holding the ready-to-run
+  :class:`~repro.qsim.circuit.QuantumCircuit` object -- including the
+  fused :class:`~repro.qsim.instruction.UnitaryGate` blocks that have no
+  QASM form -- so a warm worker skips even the parse.
+
+Bit-equality across hit and miss paths is by construction: a **miss**
+compiles (parse, peephole at optimization level 1), writes the compiled
+QASM to the persistent layer, then *re-parses its own stored text* and
+executes that.  A later **disk hit** parses the identical text, so both
+paths run a float-for-float identical circuit; a **memory hit** reuses the
+very object a previous parse produced.  Noisy payloads are deliberately
+*not* optimized (noise is defined per gate -- dropping a cancelling gate
+pair would change the channel strength), so their cached text is the
+submitted QASM itself and the cache only saves the parse.
+
+A corrupted persistent entry (truncated file, hand-edited row) is detected
+by the re-parse, deleted, and transparently recompiled -- counted in the
+per-job ``corrupt`` statistic rather than failing the job.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from typing import Dict, Tuple
+
+from ..circuit import QuantumCircuit
+from ..exceptions import QasmError
+from ..fusion import fuse_gates
+from ..qasm import from_qasm, to_qasm
+from ..simulator import SIMULATOR_MAX_FUSED_QUBITS
+from ..transpiler import transpile
+from .payload import BatchPayload
+from .store import JobStore
+
+__all__ = ["CircuitCache"]
+
+#: default bound on the per-process memory layer
+DEFAULT_MEMORY_ENTRIES = 256
+
+
+class CircuitCache:
+    """Two-layer compile cache bound to one :class:`JobStore`."""
+
+    def __init__(self, store: JobStore, max_memory_entries: int = DEFAULT_MEMORY_ENTRIES):
+        self.store = store
+        self.max_memory_entries = max_memory_entries
+        self._memory: "OrderedDict[str, QuantumCircuit]" = OrderedDict()
+
+    @staticmethod
+    def key(qasm: str, backend_name: str, noise_tag: str) -> str:
+        """SHA-256 cache key over everything the compile depends on."""
+        digest = hashlib.sha256()
+        for part in (backend_name.lower(), noise_tag, qasm):
+            digest.update(part.encode("utf-8"))
+            digest.update(b"\x00")
+        return digest.hexdigest()
+
+    # -- compile pipeline --------------------------------------------------------
+
+    @staticmethod
+    def _compile_text(qasm: str, noisy: bool) -> str:
+        """Submitted QASM -> compiled QASM (the persistent-layer value)."""
+        if noisy:
+            # per-gate noise semantics forbid any gate-count-changing pass
+            return qasm
+        circuit = from_qasm(qasm)
+        return to_qasm(transpile(circuit, optimization_level=1))
+
+    @staticmethod
+    def _finalize(circuit: QuantumCircuit, fuse: bool) -> QuantumCircuit:
+        """Compiled circuit -> ready-to-run object (fusion for dense engines)."""
+        if fuse and circuit.num_qubits >= 1 and len(circuit.data) >= 2:
+            return fuse_gates(circuit, SIMULATOR_MAX_FUSED_QUBITS)
+        return circuit
+
+    def _remember(self, cache_key: str, circuit: QuantumCircuit) -> None:
+        self._memory[cache_key] = circuit
+        self._memory.move_to_end(cache_key)
+        while len(self._memory) > self.max_memory_entries:
+            self._memory.popitem(last=False)
+
+    def compiled(
+        self,
+        qasm: str,
+        backend_name: str,
+        noise_tag: str,
+        fuse: bool,
+    ) -> Tuple[QuantumCircuit, str]:
+        """The ready-to-run circuit for *qasm*, plus how it was obtained.
+
+        Returns ``(circuit, kind)`` with *kind* one of ``"memory_hit"``,
+        ``"disk_hit"``, ``"miss"`` or ``"corrupt"`` (a persistent entry
+        that failed to re-parse and was recompiled).  The returned object
+        is shared between callers -- copy before mutating.
+        """
+        noisy = noise_tag != "noiseless"
+        cache_key = self.key(qasm, backend_name, noise_tag)
+        cached = self._memory.get(cache_key)
+        if cached is not None:
+            self._memory.move_to_end(cache_key)
+            return cached, "memory_hit"
+
+        kind = "miss"
+        compiled_text = self.store.cache_get(cache_key)
+        if compiled_text is not None:
+            try:
+                circuit = self._finalize(from_qasm(compiled_text), fuse)
+                self._remember(cache_key, circuit)
+                return circuit, "disk_hit"
+            except QasmError:
+                # corrupted persistent entry: drop it and recompile below
+                self.store.cache_delete(cache_key)
+                kind = "corrupt"
+
+        compiled_text = self._compile_text(qasm, noisy)
+        self.store.cache_put(cache_key, backend_name.lower(), noise_tag, compiled_text)
+        # execute what the store holds, not the in-flight object: a future
+        # disk hit then re-parses the identical text, so hit and miss paths
+        # run float-for-float identical circuits
+        circuit = self._finalize(from_qasm(compiled_text), fuse)
+        self._remember(cache_key, circuit)
+        return circuit, kind
+
+    def compile_batch(
+        self,
+        payload: BatchPayload,
+        backend_name: str,
+        fuse: bool,
+    ) -> Tuple[list, Dict[str, int]]:
+        """Compile every experiment of *payload* through the cache.
+
+        Returns the ready-to-run circuits (named after their payload
+        entries) and the hit/miss statistics that the worker exposes in the
+        job's result metadata.
+        """
+        noise_tag = payload.noise_tag()
+        stats = {"hits": 0, "memory_hits": 0, "disk_hits": 0, "misses": 0, "corrupt": 0}
+        circuits = []
+        for index, entry in enumerate(payload.circuits):
+            circuit, kind = self.compiled(entry["qasm"], backend_name, noise_tag, fuse)
+            if kind == "memory_hit":
+                stats["memory_hits"] += 1
+            elif kind == "disk_hit":
+                stats["disk_hits"] += 1
+            else:
+                stats["misses"] += 1
+                if kind == "corrupt":
+                    stats["corrupt"] += 1
+            # the cached object is shared across jobs; run a cheap copy so
+            # per-entry names never leak between payloads
+            circuits.append(circuit.copy(name=entry.get("name", f"experiment-{index}")))
+        stats["hits"] = stats["memory_hits"] + stats["disk_hits"]
+        return circuits, stats

@@ -1,0 +1,311 @@
+"""Worker fleet: processes that drain the job queue, crash-safely.
+
+A worker is a loop over the :class:`~repro.qsim.service.store.JobStore`:
+reclaim expired leases, atomically claim the oldest runnable job, execute
+its :class:`~repro.qsim.service.payload.BatchPayload` through the
+compiled-circuit cache, and record the outcome.  Everything that makes the
+loop safe against crashes and races lives in the store's guarded
+transitions; the worker adds the *liveness* half:
+
+* a **heartbeat thread** (own database connection) extends the claimed
+  job's lease every ``lease_timeout / 4`` seconds, so a healthy worker can
+  run a job far longer than one lease period;
+* a worker that dies -- SIGKILL included -- simply stops heartbeating; its
+  lease expires and any surviving (or future) worker's
+  ``reclaim_expired`` returns the job to the queue, where it is re-run.
+  With a seeded payload the re-run is bit-identical to an uninterrupted
+  one, because results are only ever written on completion;
+* a job that *raises* is retried with exponential backoff
+  (``retry_delay * 2**(attempt-1)``) until its attempt budget is spent,
+  then parked ``FAILED`` with the formatted traceback as artifact.
+
+:class:`WorkerFleet` spawns N such loops as separate OS processes (real
+parallelism, real crash isolation -- the test harness SIGKILLs them).
+``python -m repro.qsim.service.worker --db ...`` runs a fleet from the
+shell; the ``qutes worker`` CLI verb wraps the same entry point.
+"""
+
+from __future__ import annotations
+
+import argparse
+import multiprocessing
+import os
+import socket
+import threading
+import time
+import traceback
+import uuid
+from typing import Any, Dict, List, Optional, Tuple
+
+from .cache import CircuitCache
+from .payload import BatchPayload
+from .store import JobRecord, JobStore
+
+__all__ = ["execute_payload", "worker_loop", "WorkerFleet"]
+
+#: a worker must heartbeat within this window or its job is reclaimed
+DEFAULT_LEASE_TIMEOUT = 15.0
+#: idle sleep between claim attempts when the queue is empty
+DEFAULT_POLL_INTERVAL = 0.2
+#: base of the exponential retry backoff
+DEFAULT_RETRY_DELAY = 0.5
+
+
+def _new_worker_id() -> str:
+    return f"{socket.gethostname()}-{os.getpid()}-{uuid.uuid4().hex[:6]}"
+
+
+def _build_backend(payload: BatchPayload) -> Tuple[Any, bool]:
+    """The backend a payload runs on, plus whether circuits are pre-fused.
+
+    Noiseless statevector payloads get ``fusion=False`` engines because the
+    cache already delivers fused circuits (fusing twice would waste the
+    cache's work); every other engine takes its registry default.  Noisy
+    payloads go through :func:`build_noisy_backend`, exactly like the CLI's
+    ``--noise`` flag.
+    """
+    from ..backends import build_noisy_backend, get_backend
+    from ..backends.engines import StatevectorBackend
+
+    if payload.noise is not None:
+        backend = build_noisy_backend(
+            payload.backend,
+            float(payload.noise["p"]),
+            payload.noise.get("channel", "depolarizing"),
+        )
+        return backend, False
+    backend = get_backend(payload.backend)
+    if isinstance(backend, StatevectorBackend):
+        return get_backend(payload.backend, fusion=False), True
+    return backend, False
+
+
+def execute_payload(payload: BatchPayload, cache: CircuitCache) -> Dict[str, Any]:
+    """Run one payload through the cache and backend; return ``Result.to_dict()``.
+
+    The cache's hit/miss statistics are attached under
+    ``metadata["cache"]`` so every job artifact records whether it paid the
+    compile pipeline.  Raises whatever the compile or execution raises --
+    the caller decides between retry and ``FAILED``.
+    """
+    backend, fuse = _build_backend(payload)
+    circuits, cache_stats = cache.compile_batch(payload, backend.name, fuse=fuse)
+    job = backend.run(
+        circuits, shots=payload.shots, seed=payload.seed, memory=payload.memory
+    )
+    result_dict = job.result().to_dict()
+    result_dict["metadata"]["cache"] = cache_stats
+    result_dict["metadata"]["payload_metadata"] = payload.metadata
+    return result_dict
+
+
+class _Heartbeat(threading.Thread):
+    """Extends one claimed job's lease until stopped (own DB connection)."""
+
+    def __init__(self, db_path: str, job_id: str, worker_id: str, lease_timeout: float):
+        super().__init__(daemon=True, name=f"heartbeat-{job_id[:12]}")
+        self.db_path = db_path
+        self.job_id = job_id
+        self.worker_id = worker_id
+        self.lease_timeout = lease_timeout
+        self.interval = max(0.05, lease_timeout / 4.0)
+        self.lost = False
+        self._stop_event = threading.Event()
+
+    def run(self) -> None:
+        store = JobStore(self.db_path)
+        try:
+            while not self._stop_event.wait(self.interval):
+                if not store.heartbeat(self.job_id, self.worker_id, self.lease_timeout):
+                    # the job is no longer ours (cancelled or reclaimed)
+                    self.lost = True
+                    return
+        finally:
+            store.close()
+
+    def stop(self) -> None:
+        self._stop_event.set()
+        self.join(timeout=5.0)
+
+
+def _process_one(
+    store: JobStore,
+    cache: CircuitCache,
+    record: JobRecord,
+    worker_id: str,
+    db_path: str,
+    lease_timeout: float,
+    retry_delay: float,
+) -> None:
+    heartbeat = _Heartbeat(db_path, record.job_id, worker_id, lease_timeout)
+    heartbeat.start()
+    try:
+        payload = BatchPayload.from_json(record.payload)
+        result_dict = execute_payload(payload, cache)
+        result_dict["metadata"].update(
+            job_id=record.job_id, worker_id=worker_id, attempt=record.attempts
+        )
+    except Exception:
+        heartbeat.stop()
+        backoff = retry_delay * (2 ** max(0, record.attempts - 1))
+        store.fail(record.job_id, worker_id, traceback.format_exc(), backoff)
+        return
+    heartbeat.stop()
+    # the guarded transition silently drops the result if a cancel or lease
+    # reclaim won the race -- exactly what a durable queue must do
+    store.finish(record.job_id, worker_id, result_dict)
+
+
+def worker_loop(
+    db_path: str,
+    worker_id: Optional[str] = None,
+    lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
+    poll_interval: float = DEFAULT_POLL_INTERVAL,
+    retry_delay: float = DEFAULT_RETRY_DELAY,
+    burst: bool = False,
+    max_jobs: Optional[int] = None,
+    cache_memory_entries: int = 256,
+) -> int:
+    """Drain jobs from *db_path* until stopped; returns jobs processed.
+
+    ``burst=True`` exits as soon as a claim attempt finds the queue empty
+    (the mode CI and the benchmark use); otherwise the loop polls forever
+    and is meant to be killed.  ``max_jobs`` bounds the number of processed
+    jobs either way.
+    """
+    worker_id = worker_id or _new_worker_id()
+    store = JobStore(db_path)
+    cache = CircuitCache(store, max_memory_entries=cache_memory_entries)
+    processed = 0
+    try:
+        while True:
+            store.reclaim_expired(retry_delay)
+            record = store.claim(worker_id, lease_timeout)
+            if record is None:
+                if burst:
+                    break
+                time.sleep(poll_interval)
+                continue
+            _process_one(
+                store, cache, record, worker_id, db_path, lease_timeout, retry_delay
+            )
+            processed += 1
+            if max_jobs is not None and processed >= max_jobs:
+                break
+    finally:
+        store.close()
+    return processed
+
+
+def _fleet_entry(db_path: str, worker_id: str, kwargs: Dict[str, Any]) -> None:
+    worker_loop(db_path, worker_id=worker_id, **kwargs)
+
+
+class WorkerFleet:
+    """N worker processes over one database, as a context manager.
+
+    Keyword arguments besides *workers* are forwarded to
+    :func:`worker_loop`.  Processes are real OS processes (fork when
+    available), so the crash-recovery tests can SIGKILL one and watch the
+    survivors reclaim its job.
+    """
+
+    def __init__(self, db_path: str, workers: int = 2, **worker_kwargs: Any):
+        if workers < 1:
+            raise ValueError("a fleet needs at least one worker")
+        self.db_path = os.fspath(db_path)
+        self.worker_kwargs = worker_kwargs
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX fallback
+            context = multiprocessing.get_context()
+        self.processes: List[multiprocessing.Process] = [
+            context.Process(
+                target=_fleet_entry,
+                args=(self.db_path, f"fleet-{index}-{uuid.uuid4().hex[:6]}", worker_kwargs),
+                name=f"qsim-worker-{index}",
+                daemon=True,
+            )
+            for index in range(workers)
+        ]
+
+    def start(self) -> "WorkerFleet":
+        for process in self.processes:
+            process.start()
+        return self
+
+    def join(self, timeout: Optional[float] = None) -> bool:
+        """Wait for every worker to exit; ``True`` if all did in time."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        for process in self.processes:
+            remaining = None if deadline is None else max(0.0, deadline - time.monotonic())
+            process.join(remaining)
+        return all(not process.is_alive() for process in self.processes)
+
+    def terminate(self) -> None:
+        for process in self.processes:
+            if process.is_alive():
+                process.terminate()
+        self.join(timeout=5.0)
+
+    @property
+    def pids(self) -> List[Optional[int]]:
+        return [process.pid for process in self.processes]
+
+    def alive(self) -> int:
+        return sum(process.is_alive() for process in self.processes)
+
+    def __enter__(self) -> "WorkerFleet":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.terminate()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """``python -m repro.qsim.service.worker``: run a fleet from the shell."""
+    parser = argparse.ArgumentParser(
+        prog="repro.qsim.service.worker",
+        description="Run execution-service workers against a job database.",
+    )
+    parser.add_argument("--db", required=True, help="path to the service database")
+    parser.add_argument("--workers", type=int, default=1, help="worker processes")
+    parser.add_argument(
+        "--burst", action="store_true", help="exit when the queue is empty"
+    )
+    parser.add_argument("--max-jobs", type=int, default=None, help="jobs per worker cap")
+    parser.add_argument(
+        "--lease", type=float, default=DEFAULT_LEASE_TIMEOUT, help="lease timeout (s)"
+    )
+    parser.add_argument(
+        "--poll", type=float, default=DEFAULT_POLL_INTERVAL, help="idle poll interval (s)"
+    )
+    parser.add_argument(
+        "--retry-delay",
+        type=float,
+        default=DEFAULT_RETRY_DELAY,
+        help="base of the exponential retry backoff (s)",
+    )
+    args = parser.parse_args(argv)
+    kwargs = dict(
+        lease_timeout=args.lease,
+        poll_interval=args.poll,
+        retry_delay=args.retry_delay,
+        burst=args.burst,
+        max_jobs=args.max_jobs,
+    )
+    if args.workers == 1:
+        processed = worker_loop(args.db, **kwargs)
+        print(f"worker processed {processed} job(s)")
+        return 0
+    fleet = WorkerFleet(args.db, workers=args.workers, **kwargs)
+    fleet.start()
+    try:
+        fleet.join()
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        fleet.terminate()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

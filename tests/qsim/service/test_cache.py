@@ -1,0 +1,183 @@
+"""Cache-correctness property tests for the compiled-circuit cache.
+
+The contract under test: a cache **hit must be invisible** -- same-seed
+counts bit-equal to the miss path on every engine, noisy or not -- while
+the cache **key must be sensitive** to everything the compile depends on
+(backend, noise config, circuit text), and a corrupted persistent entry
+must fall back to recompilation instead of failing the job.
+"""
+
+import numpy as np
+import pytest
+
+from repro.qsim import QuantumCircuit
+from repro.qsim.service import BatchPayload, CircuitCache, JobStore, execute_payload
+
+
+def dense_circuit(name="dense", num_qubits=4, num_gates=40, seed=2):
+    """A non-Clifford workload for the statevector/density-matrix engines."""
+    rng = np.random.default_rng(seed)
+    qc = QuantumCircuit(num_qubits, num_qubits, name=name)
+    for _ in range(num_gates):
+        draw = rng.random()
+        if draw < 0.4:
+            getattr(qc, ["h", "x", "t", "s"][rng.integers(4)])(int(rng.integers(num_qubits)))
+        elif draw < 0.7:
+            qc.ry(float(rng.random() * 2.0), int(rng.integers(num_qubits)))
+        else:
+            a, b = rng.choice(num_qubits, size=2, replace=False)
+            qc.cx(int(a), int(b))
+    qc.measure(list(range(num_qubits)), list(range(num_qubits)))
+    return qc
+
+
+def clifford_circuit(name="cliff", num_qubits=6):
+    """A Clifford workload every engine (stabilizer included) accepts."""
+    qc = QuantumCircuit(num_qubits, num_qubits, name=name)
+    qc.h(0)
+    for qubit in range(num_qubits - 1):
+        qc.cx(qubit, qubit + 1)
+    qc.s(1).h(2).z(3)
+    qc.measure(list(range(num_qubits)), list(range(num_qubits)))
+    return qc
+
+
+def counts_of(result_dict):
+    return [experiment["counts"] for experiment in result_dict["results"]]
+
+
+@pytest.fixture
+def store(tmp_path):
+    with JobStore(tmp_path / "cache.db") as job_store:
+        yield job_store
+
+
+def run_three_ways(store, payload):
+    """Execute *payload* via miss, memory-hit and disk-hit paths."""
+    cache = CircuitCache(store)
+    miss = execute_payload(payload, cache)
+    memory_hit = execute_payload(payload, cache)
+    disk_hit = execute_payload(payload, CircuitCache(store))  # fresh process view
+    return miss, memory_hit, disk_hit
+
+
+class TestHitMissBitEquality:
+    @pytest.mark.parametrize(
+        "backend,circuit_factory",
+        [
+            ("statevector", dense_circuit),
+            ("density_matrix", dense_circuit),
+            ("stabilizer", clifford_circuit),
+        ],
+    )
+    def test_noiseless_hits_are_bit_equal(self, store, backend, circuit_factory):
+        payload = BatchPayload.from_circuits(
+            [circuit_factory()], shots=128, seed=7, backend=backend
+        )
+        miss, memory_hit, disk_hit = run_three_ways(store, payload)
+        assert miss["metadata"]["cache"] == {
+            "hits": 0, "memory_hits": 0, "disk_hits": 0, "misses": 1, "corrupt": 0,
+        }
+        assert memory_hit["metadata"]["cache"]["memory_hits"] == 1
+        assert disk_hit["metadata"]["cache"]["disk_hits"] == 1
+        assert counts_of(miss) == counts_of(memory_hit) == counts_of(disk_hit)
+        assert sum(counts_of(miss)[0].values()) == 128
+
+    @pytest.mark.parametrize(
+        "backend,circuit_factory",
+        [
+            ("statevector", dense_circuit),
+            ("density_matrix", dense_circuit),
+            ("stabilizer", clifford_circuit),
+        ],
+    )
+    def test_noisy_hits_are_bit_equal(self, store, backend, circuit_factory):
+        payload = BatchPayload.from_circuits(
+            [circuit_factory()],
+            shots=64,
+            seed=11,
+            backend=backend,
+            noise_p=0.02,
+            noise_channel="depolarizing",
+        )
+        miss, memory_hit, disk_hit = run_three_ways(store, payload)
+        assert counts_of(miss) == counts_of(memory_hit) == counts_of(disk_hit)
+        assert miss["metadata"]["cache"]["misses"] == 1
+        assert memory_hit["metadata"]["cache"]["hits"] == 1
+
+    def test_multi_circuit_batch_mixes_hits_and_misses(self, store):
+        cache = CircuitCache(store)
+        first = BatchPayload.from_circuits([dense_circuit("a")], shots=16, seed=1)
+        execute_payload(first, cache)
+        batch = BatchPayload.from_circuits(
+            [dense_circuit("a"), dense_circuit("b", seed=9)], shots=16, seed=1
+        )
+        result = execute_payload(batch, cache)
+        stats = result["metadata"]["cache"]
+        assert stats["memory_hits"] == 1
+        assert stats["misses"] == 1
+
+
+class TestKeySensitivity:
+    def test_key_depends_on_all_three_components(self):
+        base = CircuitCache.key("qasm-a", "statevector", "noiseless")
+        assert CircuitCache.key("qasm-b", "statevector", "noiseless") != base
+        assert CircuitCache.key("qasm-a", "density_matrix", "noiseless") != base
+        assert CircuitCache.key("qasm-a", "statevector", "bit_flip:0.1") != base
+        assert CircuitCache.key("qasm-a", "statevector", "noiseless") == base
+
+    def test_changing_backend_misses(self, store):
+        circuit = dense_circuit()
+        for backend in ("statevector", "density_matrix"):
+            payload = BatchPayload.from_circuits([circuit], shots=16, seed=3, backend=backend)
+            result = execute_payload(payload, CircuitCache(store))
+            assert result["metadata"]["cache"]["misses"] == 1
+        assert store.stats()["cache_entries"] == 2
+
+    def test_changing_noise_config_misses(self, store):
+        circuit = dense_circuit()
+        cache = CircuitCache(store)
+        variants = [
+            dict(),
+            dict(noise_p=0.05),
+            dict(noise_p=0.1),
+            dict(noise_p=0.05, noise_channel="bit_flip"),
+        ]
+        for overrides in variants:
+            payload = BatchPayload.from_circuits(
+                [circuit], shots=16, seed=3, **overrides
+            )
+            result = execute_payload(payload, cache)
+            assert result["metadata"]["cache"]["misses"] == 1
+        assert store.stats()["cache_entries"] == len(variants)
+
+
+class TestCorruptionFallback:
+    def test_corrupted_entry_recompiles_instead_of_erroring(self, store):
+        payload = BatchPayload.from_circuits([dense_circuit()], shots=64, seed=5)
+        clean = execute_payload(payload, CircuitCache(store))
+
+        key = CircuitCache.key(
+            payload.circuits[0]["qasm"], "statevector", payload.noise_tag()
+        )
+        assert store.cache_get(key) is not None
+        store.cache_put(key, "statevector", "noiseless", "OPENQASM 2.0; garbage(((")
+
+        recovered = execute_payload(payload, CircuitCache(store))
+        stats = recovered["metadata"]["cache"]
+        assert stats == {
+            "hits": 0, "memory_hits": 0, "disk_hits": 0, "misses": 1, "corrupt": 1,
+        }
+        assert counts_of(recovered) == counts_of(clean)
+        # the bad row was replaced: the next fresh cache hits disk again
+        after = execute_payload(payload, CircuitCache(store))
+        assert after["metadata"]["cache"]["disk_hits"] == 1
+
+    def test_memory_layer_is_lru_bounded(self, store):
+        cache = CircuitCache(store, max_memory_entries=1)
+        a = BatchPayload.from_circuits([dense_circuit("a")], shots=8, seed=1)
+        b = BatchPayload.from_circuits([dense_circuit("b", seed=8)], shots=8, seed=1)
+        execute_payload(a, cache)
+        execute_payload(b, cache)  # evicts a from memory
+        stats = execute_payload(a, cache)["metadata"]["cache"]
+        assert stats["disk_hits"] == 1  # still served from the persistent layer

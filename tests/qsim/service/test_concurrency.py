@@ -1,0 +1,154 @@
+"""Concurrency and race tests for the execution service.
+
+Three invariants of a trustworthy queue:
+
+* **claim atomicity** -- N workers racing over M jobs execute every job
+  exactly once (the guarded ``UPDATE ... WHERE state='QUEUED'`` admits one
+  winner);
+* **cancel beats completion** -- a ``cancel`` racing a claim/execution
+  never yields a job that is both cancelled and ``DONE``: whichever
+  guarded transition lands first wins, the loser is a no-op;
+* **submission safety** -- concurrent submitters never collide on job IDs.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.qsim import QuantumCircuit
+from repro.qsim.service import BatchPayload, JobStore
+from repro.qsim.service.worker import WorkerFleet, worker_loop
+
+
+def bell_payload(shots=32, seed=5):
+    qc = QuantumCircuit(2, 2, name="bell")
+    qc.h(0).cx(0, 1)
+    qc.measure([0, 1], [0, 1])
+    return BatchPayload.from_circuits([qc], shots=shots, seed=seed)
+
+
+def wait_until(predicate, timeout=30.0, interval=0.02):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+class TestClaimAtomicity:
+    def test_one_job_many_threads_exactly_one_winner(self, tmp_path):
+        db_path = tmp_path / "race.db"
+        with JobStore(db_path) as store:
+            store.submit(bell_payload().to_json())
+        winners = []
+        barrier = threading.Barrier(8)
+
+        def contend(index):
+            with JobStore(db_path) as mine:
+                barrier.wait()
+                record = mine.claim(f"t{index}", lease_timeout=30.0)
+                if record is not None:
+                    winners.append(record.worker_id)
+
+        threads = [threading.Thread(target=contend, args=(i,)) for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(winners) == 1
+
+    @pytest.mark.slow
+    def test_fleet_executes_every_job_exactly_once(self, tmp_path):
+        db_path = tmp_path / "fleet.db"
+        num_jobs = 12
+        with JobStore(db_path) as store:
+            job_ids = [store.submit(bell_payload(seed=i).to_json()) for i in range(num_jobs)]
+            fleet = WorkerFleet(db_path, workers=3, burst=True, lease_timeout=30.0)
+            fleet.start()
+            assert fleet.join(timeout=120.0)
+            records = [store.get(job_id) for job_id in job_ids]
+        assert all(record.state == "DONE" for record in records)
+        # exactly one execution each: the claim counter never went past 1,
+        # and the result artifact names the single worker that ran it
+        assert [record.attempts for record in records] == [1] * num_jobs
+        for record in records:
+            metadata = record.result_dict()["metadata"]
+            assert metadata["attempt"] == 1
+            assert metadata["worker_id"]
+
+
+class TestCancelRaces:
+    def test_cancel_racing_claim_never_yields_done_cancelled_job(self, tmp_path):
+        db_path = tmp_path / "cancel.db"
+        outcomes = []
+        for round_index in range(12):
+            with JobStore(db_path) as store:
+                job_id = store.submit(bell_payload(seed=round_index).to_json())
+            cancel_won = []
+
+            def run_worker():
+                worker_loop(db_path, burst=True, max_jobs=1, lease_timeout=30.0)
+
+            def run_cancel(delay):
+                time.sleep(delay)
+                with JobStore(db_path) as mine:
+                    cancel_won.append(mine.cancel(job_id))
+
+            worker = threading.Thread(target=run_worker)
+            # sweep the cancel across the claim/execute/finish window
+            canceller = threading.Thread(target=run_cancel, args=(round_index * 0.005,))
+            worker.start()
+            canceller.start()
+            worker.join()
+            canceller.join()
+            with JobStore(db_path) as store:
+                final = store.get(job_id)
+            outcomes.append((cancel_won[0], final.state))
+
+        for cancel_ok, state in outcomes:
+            assert state in ("CANCELLED", "DONE")
+            if cancel_ok:
+                # the cancel won a guarded transition: the job must never
+                # surface a DONE result afterwards
+                assert state == "CANCELLED"
+            else:
+                assert state == "DONE"
+
+    def test_cancelled_running_job_drops_late_result_artifact(self, tmp_path):
+        db_path = tmp_path / "late.db"
+        with JobStore(db_path) as store:
+            job_id = store.submit(bell_payload().to_json())
+            record = store.claim("w1", lease_timeout=30.0)
+            assert store.cancel(job_id)
+            # the worker, unaware, finishes and reports: must be discarded
+            assert not store.finish(record.job_id, "w1", {"stale": True})
+            final = store.get(job_id)
+        assert final.state == "CANCELLED"
+        assert final.result is None
+
+
+class TestSubmissionSafety:
+    def test_parallel_submits_never_collide_on_job_ids(self, tmp_path):
+        db_path = tmp_path / "submit.db"
+        per_thread = 25
+        all_ids = []
+        lock = threading.Lock()
+        payload_json = bell_payload().to_json()
+
+        def submit_many():
+            with JobStore(db_path) as mine:
+                ids = [mine.submit(payload_json) for _ in range(per_thread)]
+            with lock:
+                all_ids.extend(ids)
+
+        threads = [threading.Thread(target=submit_many) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(all_ids) == 8 * per_thread
+        assert len(set(all_ids)) == len(all_ids)
+        with JobStore(db_path) as store:
+            assert store.stats()["queued_depth"] == len(all_ids)

@@ -1,0 +1,179 @@
+"""Crash-recovery tests: the service survives dying workers and bad jobs.
+
+The headline test SIGKILLs a worker process mid-execution and proves the
+durable-queue promise: the orphaned lease expires, a second worker
+reclaims and re-runs the job, and -- because payloads are seeded and
+results are only written on completion -- the final counts are bit-equal
+to a never-interrupted run.  The rest covers the retry ladder: lease
+expiry bookkeeping, exponential backoff between attempts, heartbeats
+keeping long jobs alive, and a deterministically-failing job parking as
+``FAILED`` with its traceback artifact once the attempt budget is spent.
+"""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.qsim import QuantumCircuit
+from repro.qsim.service import (
+    BatchPayload,
+    CircuitCache,
+    JobStore,
+    execute_payload,
+    worker_loop,
+)
+from repro.qsim.service.worker import WorkerFleet
+
+
+def slow_circuit(num_qubits=11, layers=30):
+    """Seconds of per-shot work: the mid-circuit measurement forces the
+    statevector engine off the sampled fast path, so every shot re-evolves
+    the full circuit -- long enough to SIGKILL a worker mid-job."""
+    qc = QuantumCircuit(num_qubits, num_qubits, name="slow")
+    qc.h(0)
+    qc.measure(0, 0)
+    qc.reset(0)
+    for _ in range(layers):
+        for qubit in range(num_qubits):
+            qc.h(qubit)
+        for qubit in range(num_qubits - 1):
+            qc.cx(qubit, qubit + 1)
+    qc.measure(list(range(num_qubits)), list(range(num_qubits)))
+    return qc
+
+
+def quick_payload(seed=3, shots=64):
+    qc = QuantumCircuit(2, 2, name="bell")
+    qc.h(0).cx(0, 1)
+    qc.measure([0, 1], [0, 1])
+    return BatchPayload.from_circuits([qc], shots=shots, seed=seed)
+
+
+def failing_payload():
+    """A payload every attempt rejects: a T gate on the stabilizer engine."""
+    qc = QuantumCircuit(1, 1, name="non-clifford")
+    qc.t(0)
+    qc.measure(0, 0)
+    return BatchPayload.from_circuits([qc], shots=16, seed=1, backend="stabilizer")
+
+
+def uninterrupted_counts(tmp_path, payload):
+    """Reference run of *payload* through the identical service pipeline."""
+    with JobStore(tmp_path / "reference.db") as store:
+        result = execute_payload(payload, CircuitCache(store))
+    return [experiment["counts"] for experiment in result["results"]]
+
+
+def wait_until(predicate, timeout=60.0, interval=0.05):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+@pytest.mark.slow
+class TestSigkillRecovery:
+    def test_sigkilled_workers_job_is_reclaimed_and_bit_equal(self, tmp_path):
+        db_path = tmp_path / "crash.db"
+        payload = BatchPayload.from_circuits([slow_circuit()], shots=400, seed=13)
+        expected = uninterrupted_counts(tmp_path, payload)
+
+        with JobStore(db_path) as store:
+            job_id = store.submit(payload.to_json())
+
+            victim = WorkerFleet(db_path, workers=1, lease_timeout=1.0)
+            victim.start()
+            try:
+                assert wait_until(lambda: store.get(job_id).state == "RUNNING")
+                first_worker = store.get(job_id).worker_id
+                time.sleep(0.3)  # let the victim get into the shot loop
+                os.kill(victim.pids[0], signal.SIGKILL)
+            finally:
+                victim.terminate()
+
+            # nobody has reclaimed yet: the job is still leased to the corpse
+            orphaned = store.get(job_id)
+            assert orphaned.state == "RUNNING"
+            assert orphaned.attempts == 1
+
+            rescuer = WorkerFleet(db_path, workers=1, lease_timeout=1.0)
+            rescuer.start()
+            try:
+                assert wait_until(lambda: store.get(job_id).is_terminal, timeout=120.0)
+            finally:
+                rescuer.terminate()
+
+            record = store.get(job_id)
+            assert record.state == "DONE"
+            assert record.attempts == 2  # the lost attempt stayed counted
+            result = record.result_dict()
+            assert result["metadata"]["attempt"] == 2
+            assert result["metadata"]["worker_id"] != first_worker
+            counts = [experiment["counts"] for experiment in result["results"]]
+            assert counts == expected  # seed-deterministic, bit-equal re-run
+
+    def test_heartbeats_keep_a_long_job_alive_past_its_lease(self, tmp_path):
+        db_path = tmp_path / "heartbeat.db"
+        payload = BatchPayload.from_circuits([slow_circuit()], shots=400, seed=13)
+        with JobStore(db_path) as store:
+            job_id = store.submit(payload.to_json())
+            # lease far shorter than the job: only heartbeats keep it owned
+            fleet = WorkerFleet(db_path, workers=1, lease_timeout=0.6, burst=True)
+            fleet.start()
+            try:
+                assert wait_until(lambda: store.get(job_id).is_terminal, timeout=120.0)
+            finally:
+                fleet.terminate()
+            record = store.get(job_id)
+        assert record.state == "DONE"
+        assert record.attempts == 1  # never reclaimed mid-run
+
+
+class TestRetryLadder:
+    def test_expired_lease_is_reclaimed_and_rerun_bit_equal(self, tmp_path):
+        db_path = tmp_path / "lease.db"
+        payload = quick_payload(seed=21)
+        expected = uninterrupted_counts(tmp_path, payload)
+        with JobStore(db_path) as store:
+            job_id = store.submit(payload.to_json())
+            # a "worker" that claims and dies without ever heartbeating
+            assert store.claim("doomed", lease_timeout=0.05) is not None
+            time.sleep(0.1)
+            worker_loop(db_path, burst=True, lease_timeout=30.0, retry_delay=0.0)
+            record = store.get(job_id)
+        assert record.state == "DONE"
+        assert record.attempts == 2
+        counts = [e["counts"] for e in record.result_dict()["results"]]
+        assert counts == expected
+
+    def test_failed_job_after_max_retries_carries_traceback(self, tmp_path):
+        db_path = tmp_path / "failed.db"
+        with JobStore(db_path) as store:
+            job_id = store.submit(failing_payload().to_json(), max_attempts=2)
+            processed = worker_loop(db_path, burst=True, retry_delay=0.0)
+            record = store.get(job_id)
+        assert processed == 2  # both attempts ran in one burst
+        assert record.state == "FAILED"
+        assert record.attempts == 2
+        assert record.result is None
+        assert "Traceback (most recent call last)" in record.error
+        assert "BackendError" in record.error
+
+    def test_retry_backoff_delays_the_requeue(self, tmp_path):
+        db_path = tmp_path / "backoff.db"
+        with JobStore(db_path) as store:
+            job_id = store.submit(failing_payload().to_json(), max_attempts=3)
+            # attempt 1 fails; the backoff parks the job beyond this burst
+            worker_loop(db_path, burst=True, retry_delay=0.4)
+            record = store.get(job_id)
+            assert record.state == "QUEUED"
+            assert record.attempts == 1
+            assert record.not_before > time.time()
+            # until the backoff expires the job is unclaimable
+            assert store.claim("eager", lease_timeout=30.0) is None
+            time.sleep(0.5)
+            assert store.claim("patient", lease_timeout=30.0) is not None

@@ -1,0 +1,265 @@
+"""Unit tests for the sqlite job store and the qobj-style batch payload."""
+
+import json
+import time
+
+import pytest
+
+from repro.qsim import QuantumCircuit
+from repro.qsim.service import BatchPayload, JobStore, ServiceError
+from repro.qsim.service.payload import PAYLOAD_VERSION
+
+
+def bell_circuit(name="bell"):
+    qc = QuantumCircuit(2, 2, name=name)
+    qc.h(0).cx(0, 1)
+    qc.measure([0, 1], [0, 1])
+    return qc
+
+
+def bell_payload(**overrides):
+    defaults = dict(shots=64, seed=3)
+    defaults.update(overrides)
+    return BatchPayload.from_circuits([bell_circuit()], **defaults)
+
+
+@pytest.fixture
+def store(tmp_path):
+    with JobStore(tmp_path / "service.db") as job_store:
+        yield job_store
+
+
+class TestSubmitAndInspect:
+    def test_submit_returns_durable_queued_job(self, store):
+        job_id = store.submit(bell_payload().to_json())
+        record = store.get(job_id)
+        assert job_id.startswith("job-")
+        assert record.state == "QUEUED"
+        assert record.attempts == 0
+        assert not record.is_terminal
+
+    def test_payload_survives_reopen(self, tmp_path):
+        payload = bell_payload(shots=17, seed=42, backend="density_matrix")
+        with JobStore(tmp_path / "svc.db") as store:
+            job_id = store.submit(payload.to_json())
+        with JobStore(tmp_path / "svc.db") as reopened:
+            loaded = BatchPayload.from_json(reopened.get(job_id).payload)
+        assert loaded.shots == 17
+        assert loaded.seed == 42
+        assert loaded.backend == "density_matrix"
+        assert loaded.circuits == payload.circuits
+
+    def test_unknown_job_raises(self, store):
+        with pytest.raises(ServiceError, match="no such job"):
+            store.get("job-nope")
+
+    def test_list_jobs_filters_by_state(self, store):
+        queued = store.submit(bell_payload().to_json())
+        cancelled = store.submit(bell_payload().to_json())
+        store.cancel(cancelled)
+        assert [r.job_id for r in store.list_jobs("QUEUED")] == [queued]
+        assert [r.job_id for r in store.list_jobs("CANCELLED")] == [cancelled]
+        assert len(store.list_jobs()) == 2
+        with pytest.raises(ServiceError, match="unknown job state"):
+            store.list_jobs("PENDING")
+
+    def test_stats_counts_states_and_cache(self, store):
+        store.submit(bell_payload().to_json())
+        store.cache_put("key1", "statevector", "noiseless", "OPENQASM 2.0;")
+        stats = store.stats()
+        assert stats["states"]["QUEUED"] == 1
+        assert stats["queued_depth"] == 1
+        assert stats["cache_entries"] == 1
+        assert stats["oldest_queued_age"] >= 0.0
+
+    def test_max_attempts_validated(self, store):
+        with pytest.raises(ServiceError, match="max_attempts"):
+            store.submit(bell_payload().to_json(), max_attempts=0)
+
+
+class TestLifecycleTransitions:
+    def test_claim_moves_to_running_and_counts_attempt(self, store):
+        job_id = store.submit(bell_payload().to_json())
+        record = store.claim("w1", lease_timeout=30.0)
+        assert record.job_id == job_id
+        assert record.state == "RUNNING"
+        assert record.attempts == 1
+        assert record.worker_id == "w1"
+        assert record.lease_expires_at > time.time()
+        assert store.claim("w2", lease_timeout=30.0) is None
+
+    def test_claim_is_fifo(self, store):
+        first = store.submit(bell_payload().to_json())
+        second = store.submit(bell_payload().to_json())
+        assert store.claim("w", 30.0).job_id == first
+        assert store.claim("w", 30.0).job_id == second
+
+    def test_claim_respects_not_before(self, store):
+        store.submit(bell_payload().to_json(), not_before=time.time() + 60)
+        assert store.claim("w", 30.0) is None
+
+    def test_heartbeat_extends_only_for_owner(self, store):
+        job_id = store.submit(bell_payload().to_json())
+        store.claim("w1", lease_timeout=0.5)
+        before = store.get(job_id).lease_expires_at
+        assert store.heartbeat(job_id, "w1", lease_timeout=30.0)
+        assert store.get(job_id).lease_expires_at > before
+        assert not store.heartbeat(job_id, "intruder", lease_timeout=30.0)
+
+    def test_finish_requires_ownership(self, store):
+        job_id = store.submit(bell_payload().to_json())
+        store.claim("w1", 30.0)
+        assert not store.finish(job_id, "intruder", {"ok": True})
+        assert store.finish(job_id, "w1", {"ok": True})
+        record = store.get(job_id)
+        assert record.state == "DONE"
+        assert record.result_dict() == {"ok": True}
+
+    def test_fail_requeues_with_backoff_then_goes_failed(self, store):
+        job_id = store.submit(bell_payload().to_json(), max_attempts=2)
+        store.claim("w1", 30.0)
+        assert store.fail(job_id, "w1", "boom one", retry_delay=0.0) == "QUEUED"
+        record = store.get(job_id)
+        assert record.error == "boom one"
+        store.claim("w1", 30.0)
+        assert store.fail(job_id, "w1", "boom two", retry_delay=0.0) == "FAILED"
+        record = store.get(job_id)
+        assert record.is_terminal
+        assert record.error == "boom two"
+        # terminal: nothing left to claim, failing again is a no-op
+        assert store.claim("w1", 30.0) is None
+        assert store.fail(job_id, "w1", "boom three", retry_delay=0.0) is None
+
+    def test_fail_backoff_delays_next_claim(self, store):
+        job_id = store.submit(bell_payload().to_json(), max_attempts=3)
+        store.claim("w1", 30.0)
+        store.fail(job_id, "w1", "transient", retry_delay=30.0)
+        assert store.get(job_id).state == "QUEUED"
+        assert store.claim("w2", 30.0) is None  # still backing off
+
+    def test_result_dict_requires_result(self, store):
+        job_id = store.submit(bell_payload().to_json())
+        with pytest.raises(ServiceError, match="no result"):
+            store.get(job_id).result_dict()
+
+
+class TestLeaseReclaim:
+    def test_expired_lease_returns_job_to_queue(self, store):
+        job_id = store.submit(bell_payload().to_json())
+        store.claim("dead-worker", lease_timeout=0.01)
+        time.sleep(0.05)
+        assert store.reclaim_expired() == 1
+        record = store.get(job_id)
+        assert record.state == "QUEUED"
+        assert record.worker_id is None
+        assert record.attempts == 1  # the lost attempt stays counted
+
+    def test_live_lease_is_not_reclaimed(self, store):
+        store.submit(bell_payload().to_json())
+        store.claim("live-worker", lease_timeout=60.0)
+        assert store.reclaim_expired() == 0
+
+    def test_reclaim_exhausted_attempts_goes_failed_with_artifact(self, store):
+        job_id = store.submit(bell_payload().to_json(), max_attempts=1)
+        store.claim("dead-worker", lease_timeout=0.01)
+        time.sleep(0.05)
+        assert store.reclaim_expired() == 1
+        record = store.get(job_id)
+        assert record.state == "FAILED"
+        assert "lease expired" in record.error
+        assert "dead-worker" in record.error
+
+
+class TestCancel:
+    def test_cancel_queued_job(self, store):
+        job_id = store.submit(bell_payload().to_json())
+        assert store.cancel(job_id)
+        assert store.get(job_id).state == "CANCELLED"
+
+    def test_cancel_running_job_beats_late_finish(self, store):
+        job_id = store.submit(bell_payload().to_json())
+        store.claim("w1", 30.0)
+        assert store.cancel(job_id)
+        # the worker's result arrives after the cancel: it must be dropped
+        assert not store.finish(job_id, "w1", {"stale": True})
+        record = store.get(job_id)
+        assert record.state == "CANCELLED"
+        assert record.result is None
+
+    def test_cancel_terminal_job_is_noop(self, store):
+        job_id = store.submit(bell_payload().to_json())
+        store.claim("w1", 30.0)
+        store.finish(job_id, "w1", {"ok": True})
+        assert not store.cancel(job_id)
+        assert store.get(job_id).state == "DONE"
+
+
+class TestCompiledCircuitRows:
+    def test_put_get_bumps_hits(self, store):
+        assert store.cache_get("k") is None
+        store.cache_put("k", "statevector", "noiseless", "text")
+        assert store.cache_get("k") == "text"
+        store.cache_put("k", "statevector", "noiseless", "text2")  # replace keeps hits
+        assert store.cache_get("k") == "text2"
+        assert store.stats()["cache_disk_hits"] == 2
+
+    def test_delete(self, store):
+        store.cache_put("k", "sv", "noiseless", "text")
+        store.cache_delete("k")
+        assert store.cache_get("k") is None
+
+
+class TestBatchPayload:
+    def test_json_round_trip(self):
+        payload = BatchPayload.from_circuits(
+            [bell_circuit("a"), bell_circuit("b")],
+            shots=33,
+            seed=9,
+            backend="stabilizer",
+            noise_p=0.125,
+            noise_channel="bit_flip",
+            memory=True,
+            metadata={"user": "alice"},
+        )
+        loaded = BatchPayload.from_json(payload.to_json())
+        assert loaded == payload
+        assert len(loaded) == 2
+        assert loaded.noise_tag() == "bit_flip:0.125"
+
+    def test_parse_circuits_round_trips_names_and_structure(self):
+        payload = BatchPayload.from_circuits([bell_circuit("mybell")], shots=8)
+        [circuit] = payload.parse_circuits()
+        assert circuit.name == "mybell"
+        assert circuit.num_qubits == 2
+        assert [i.operation.name for i in circuit.data] == ["h", "cx", "measure", "measure"]
+
+    def test_measurement_free_circuit_gets_measure_all(self):
+        qc = QuantumCircuit(2)
+        qc.h(0).cx(0, 1)
+        payload = BatchPayload.from_circuits([qc])
+        [circuit] = payload.parse_circuits()
+        assert circuit.has_measurements()
+        assert not qc.has_measurements()  # the submitted circuit is untouched
+
+    def test_rejects_empty_and_non_circuits(self):
+        with pytest.raises(ServiceError, match="at least one circuit"):
+            BatchPayload.from_circuits([])
+        with pytest.raises(ServiceError, match="expected QuantumCircuit"):
+            BatchPayload.from_circuits(["nope"])
+        with pytest.raises(ServiceError, match="shots must be positive"):
+            BatchPayload.from_circuits([bell_circuit()], shots=0)
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(ServiceError, match="malformed payload"):
+            BatchPayload.from_json("{not json")
+        with pytest.raises(ServiceError, match="not a payload object"):
+            BatchPayload.from_json(json.dumps({"shots": 4}))
+
+    def test_version_gate(self):
+        data = json.loads(bell_payload().to_json())
+        data["version"] = PAYLOAD_VERSION + 1
+        with pytest.raises(ServiceError, match="unsupported payload version"):
+            BatchPayload.from_json(json.dumps(data))
+
+    def test_noiseless_tag(self):
+        assert bell_payload().noise_tag() == "noiseless"

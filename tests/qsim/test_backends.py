@@ -355,3 +355,51 @@ class TestDriverIntegration:
 
         result = find_minimum([9, 4, 7, 2], seed=5, backend=get_backend("statevector", seed=5))
         assert result.value == 2
+
+
+class TestResultSerialization:
+    """to_dict/from_dict is the wire format the execution service persists."""
+
+    @pytest.mark.parametrize("backend_name", ["statevector", "density_matrix", "stabilizer"])
+    def test_round_trip_through_json_preserves_artifacts(self, backend_name):
+        import json
+
+        from repro.qsim.backends import Result
+
+        backend = get_backend(backend_name)
+        result = backend.run(
+            [bell_circuit("a"), bell_circuit("b")], shots=64, seed=9, memory=True
+        ).result()
+        restored = Result.from_dict(json.loads(json.dumps(result.to_dict())))
+        assert restored.backend_name == result.backend_name
+        assert restored.job_id == result.job_id
+        assert restored.success is True
+        assert len(restored) == 2
+        for before, after in zip(result, restored):
+            assert after.name == before.name
+            assert after.counts == before.counts
+            assert after.shots == before.shots
+            assert after.seed == before.seed
+            assert after.memory == before.memory
+        # counts access works identically on the restored object
+        assert restored.get_counts("a") == result.get_counts("a")
+        assert restored.get_memory("b") == result.get_memory("b")
+
+    def test_arrays_are_deliberately_dropped(self):
+        backend = get_backend("statevector")
+        result = backend.run(bell_circuit(), shots=32, seed=4).result()
+        assert result[0].statevector is not None  # sampled fast path produced one
+        from repro.qsim.backends import Result
+
+        restored = Result.from_dict(result.to_dict())
+        assert restored[0].statevector is None
+        assert restored[0].density_matrix is None
+        assert restored[0].counts == result[0].counts
+
+    def test_malformed_dicts_are_rejected(self):
+        from repro.qsim.backends import Result
+
+        with pytest.raises(BackendError, match="malformed result dict"):
+            Result.from_dict({"job_id": "x"})
+        with pytest.raises(BackendError, match="malformed experiment dict"):
+            ExperimentResult.from_dict({"name": "a"})

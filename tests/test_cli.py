@@ -253,3 +253,91 @@ class TestNoiseOptions:
         assert set(backend._engine.gate_noise) == {1, 2}
         backend = build_noisy_backend(None, 0.1, "bit_flip")
         assert backend.name == "statevector"
+
+
+class TestServiceVerbs:
+    """The durable-queue verbs: submit / status / worker / result / cancel."""
+
+    def test_submit_worker_result_round_trip(self, qasm_file, tmp_path, capsys):
+        db = str(tmp_path / "svc.db")
+        assert main(["submit", qasm_file, "--db", db, "--seed", "7", "--shots", "64"]) == 0
+        job_id = capsys.readouterr().out.strip()
+        assert job_id.startswith("job-")
+
+        assert main(["status", job_id, "--db", db]) == 0
+        assert "QUEUED attempts=0" in capsys.readouterr().out
+
+        assert main(["worker", "--db", db, "--burst"]) == 0
+        assert "processed 1 job" in capsys.readouterr().out
+
+        assert main(["result", job_id, "--db", db]) == 0
+        counts = dict(
+            line.split() for line in capsys.readouterr().out.strip().splitlines()
+        )
+        assert set(counts) == {"00", "11"}
+        assert sum(int(v) for v in counts.values()) == 64
+
+    def test_resubmission_is_served_from_the_compiled_cache(self, qasm_file, tmp_path, capsys):
+        db = str(tmp_path / "svc.db")
+        for _ in range(2):
+            assert main(["submit", qasm_file, "--db", db, "--seed", "7"]) == 0
+            capsys.readouterr()
+            assert main(["worker", "--db", db, "--burst"]) == 0
+            capsys.readouterr()
+        assert main(["queue-stats", "--db", db]) == 0
+        out = capsys.readouterr().out
+        assert "DONE 2" in out
+        assert "cache-entries 1" in out
+        assert "cache-disk-hits 1" in out  # the second run never recompiled
+
+    def test_result_before_completion_errors(self, qasm_file, tmp_path, capsys):
+        db = str(tmp_path / "svc.db")
+        main(["submit", qasm_file, "--db", db])
+        job_id = capsys.readouterr().out.strip()
+        assert main(["result", job_id, "--db", db]) == 1
+        assert "not finished (state QUEUED)" in capsys.readouterr().err
+
+    def test_cancel_is_terminal_and_idempotently_refused(self, qasm_file, tmp_path, capsys):
+        db = str(tmp_path / "svc.db")
+        main(["submit", qasm_file, "--db", db])
+        job_id = capsys.readouterr().out.strip()
+        assert main(["cancel", job_id, "--db", db]) == 0
+        assert "CANCELLED" in capsys.readouterr().out
+        assert main(["cancel", job_id, "--db", db]) == 1
+        assert "already terminal (CANCELLED)" in capsys.readouterr().err
+        # a worker finds nothing to run
+        assert main(["worker", "--db", db, "--burst"]) == 0
+        assert "processed 0 job" in capsys.readouterr().out
+
+    def test_failed_job_surfaces_error_line(self, tmp_path, capsys):
+        db = str(tmp_path / "svc.db")
+        path = tmp_path / "t.qasm"
+        path.write_text(
+            'OPENQASM 2.0;\ninclude "qelib1.inc";\nqreg q[1];\ncreg c[1];\n'
+            "t q[0];\nmeasure q -> c;\n"
+        )
+        argv = ["submit", str(path), "--db", db, "--backend", "stabilizer",
+                "--max-attempts", "1"]
+        assert main(argv) == 0
+        job_id = capsys.readouterr().out.strip()
+        main(["worker", "--db", db, "--burst", "--retry-delay", "0"])
+        capsys.readouterr()
+        assert main(["result", job_id, "--db", db]) == 1
+        err = capsys.readouterr().err
+        assert "job ended FAILED" in err
+        assert "BackendError" in err
+
+    def test_submit_missing_file_is_exit_2(self, tmp_path, capsys):
+        db = str(tmp_path / "svc.db")
+        assert main(["submit", str(tmp_path / "ghost.qasm"), "--db", db]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_submit_invalid_options_are_exit_1(self, qasm_file, tmp_path, capsys):
+        db = str(tmp_path / "svc.db")
+        assert main(["submit", qasm_file, "--db", db, "--max-attempts", "0"]) == 1
+        assert "max_attempts" in capsys.readouterr().err
+
+    def test_status_unknown_job_errors(self, tmp_path, capsys):
+        db = str(tmp_path / "svc.db")
+        assert main(["status", "job-missing", "--db", db]) == 1
+        assert "no such job" in capsys.readouterr().err
