@@ -5,9 +5,12 @@ runner scripts: print the program output, optionally dump the generated
 circuit (text or OpenQASM 2.0) and the final values of global variables.
 
 The durable execution service (see ``docs/service.md``) is exposed as
-verbs -- ``qutes submit / status / result / cancel / worker /
-queue-stats`` -- sharing the familiar ``--backend/--noise/--shots/--seed``
-flags with the direct runner.
+verbs -- ``qutes submit / status / result / cancel / worker / queue-stats /
+trace / metrics / purge`` -- sharing the familiar
+``--backend/--noise/--shots/--seed`` flags with the direct runner.  The
+observability verbs (``trace``, ``metrics``; guide in
+``docs/observability.md``) read the per-job telemetry artifacts workers
+record through :mod:`repro.qsim.telemetry`.
 """
 
 from __future__ import annotations
@@ -25,7 +28,17 @@ from .qsim.qasm import from_qasm_file, to_qasm
 __all__ = ["main", "build_arg_parser", "build_service_parser", "SERVICE_VERBS"]
 
 #: first-positional-argument verbs that dispatch to the execution service
-SERVICE_VERBS = ("submit", "status", "result", "cancel", "worker", "queue-stats")
+SERVICE_VERBS = (
+    "submit",
+    "status",
+    "result",
+    "cancel",
+    "worker",
+    "queue-stats",
+    "trace",
+    "metrics",
+    "purge",
+)
 
 #: default service database (override per call with --db)
 DEFAULT_SERVICE_DB = os.environ.get("QUTES_SERVICE_DB", "qutes-service.db")
@@ -141,9 +154,53 @@ def build_service_parser() -> argparse.ArgumentParser:
     worker.add_argument("--lease", type=float, default=None, help="lease timeout (s)")
     worker.add_argument("--poll", type=float, default=None, help="idle poll interval (s)")
     worker.add_argument("--retry-delay", type=float, default=None, help="retry backoff base (s)")
+    worker.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="more service logging (repeatable; -v enables DEBUG)",
+    )
+    worker.add_argument(
+        "-q",
+        "--quiet",
+        action="count",
+        default=0,
+        help="less service logging (repeatable; -q shows warnings only)",
+    )
 
     stats = verbs.add_parser("queue-stats", help="print queue depth and cache statistics")
     add_db(stats)
+
+    trace = verbs.add_parser(
+        "trace", help="print a finished job's execution trace (span tree)"
+    )
+    trace.add_argument("job_id")
+    add_db(trace)
+
+    metrics = verbs.add_parser(
+        "metrics", help="print metrics aggregated across finished jobs"
+    )
+    add_db(metrics)
+    metrics.add_argument(
+        "--format",
+        dest="fmt",
+        default="prometheus",
+        choices=("prometheus", "json"),
+        help="output format (default: %(default)s)",
+    )
+
+    purge = verbs.add_parser(
+        "purge", help="delete DONE/CANCELLED jobs older than a TTL"
+    )
+    add_db(purge)
+    purge.add_argument(
+        "--older-than",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="only delete jobs last updated at least SECONDS ago (default: all)",
+    )
     return parser
 
 
@@ -197,10 +254,11 @@ def _print_counts(result_dict: dict) -> None:
 def _service_other(args: argparse.Namespace) -> int:
     import time as _time
 
-    from .qsim.service import JobStore, ServiceError, worker_loop
+    from .qsim.service import JobStore, ServiceError, configure_logging, worker_loop
     from .qsim.service.worker import WorkerFleet
 
     if args.verb == "worker":
+        configure_logging(args.verbose - args.quiet)
         kwargs = {
             key: value
             for key, value in (
@@ -247,6 +305,36 @@ def _service_other(args: argparse.Namespace) -> int:
                     print(f"{state} {count}")
                 print(f"cache-entries {stats['cache_entries']}")
                 print(f"cache-disk-hits {stats['cache_disk_hits']}")
+                job_cache = stats["job_cache"]
+                print(f"job-cache-hits {job_cache['hits']}")
+                print(f"job-cache-misses {job_cache['misses']}")
+                rate = job_cache["hit_rate"]
+                print(f"job-cache-hit-rate {'n/a' if rate is None else f'{rate:.3f}'}")
+                return 0
+            if args.verb == "trace":
+                from .qsim import telemetry
+
+                record = store.get(args.job_id)
+                artifact = record.telemetry_dict()
+                print(f"job {record.job_id} state={record.state}")
+                print(
+                    telemetry.format_span_tree(
+                        artifact["trace"], artifact.get("duration_s")
+                    )
+                )
+                return 0
+            if args.verb == "metrics":
+                from .qsim.telemetry import export as telemetry_export
+
+                snapshot = store.aggregate_telemetry_metrics()
+                if args.fmt == "json":
+                    print(telemetry_export.to_json(snapshot))
+                else:
+                    print(telemetry_export.to_prometheus(snapshot))
+                return 0
+            if args.verb == "purge":
+                deleted = store.purge(older_than=args.older_than)
+                print(f"purged {deleted} job(s)")
                 return 0
             # result
             record = store.get(args.job_id)

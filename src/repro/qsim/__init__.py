@@ -17,11 +17,14 @@ implementation with a self-contained, NumPy-based stack:
   API with batched, parallel dispatch over every engine,
 * :mod:`repro.qsim.transpiler` -- decomposition and analysis passes,
 * :mod:`repro.qsim.qasm` -- OpenQASM 2.0 export and import,
-* :mod:`repro.qsim.noise` -- simple stochastic noise models.
+* :mod:`repro.qsim.noise` -- simple stochastic noise models,
+* :mod:`repro.qsim.telemetry` -- always-on observability: tracing spans,
+  the process-wide metrics registry, JSON/Prometheus exporters.
 
 The public names most users need are re-exported here.
 """
 
+from . import telemetry
 from .exceptions import BackendError, QasmError, QsimError, RegisterError, SimulationError
 from .registers import ClassicalRegister, Clbit, QuantumRegister, Qubit
 from .instruction import (
@@ -62,6 +65,7 @@ from .backends import (
 )
 
 __all__ = [
+    "telemetry",
     "QsimError",
     "RegisterError",
     "SimulationError",

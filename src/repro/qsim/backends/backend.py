@@ -37,6 +37,7 @@ import numpy as np
 
 from ..circuit import QuantumCircuit
 from ..exceptions import BackendError
+from .. import telemetry
 from .job import Job
 from .result import ExperimentResult
 
@@ -122,32 +123,47 @@ class Backend(abc.ABC):
         parallel = workers is not None and workers > 1 and len(batch) > 1
         seeds = self._resolve_seeds(seed, len(batch), force_explicit=parallel)
 
+        if telemetry.enabled():
+            telemetry.counter("backend.batches").inc()
+            telemetry.counter("backend.circuits").inc(len(batch))
         submitted_at = time.perf_counter()
         if not parallel:
-            futures: List[Future] = []
-            for circuit, circuit_seed in zip(batch, seeds):
-                future: Future = Future()
-                try:
-                    future.set_result(
-                        self._run_experiment(circuit, shots, circuit_seed, memory, **options)
-                    )
-                except BaseException as exc:  # noqa: BLE001 - delivered via Job.result()
-                    future.set_exception(exc)
-                futures.append(future)
-                if future.exception() is not None:
-                    break
+            # serial dispatch runs in the calling thread, so the batch span
+            # encloses every engine.<name>.run span the experiments open
+            with telemetry.span(
+                "backend.run", backend=self.name, circuits=len(batch), dispatch="serial"
+            ):
+                futures: List[Future] = []
+                for circuit, circuit_seed in zip(batch, seeds):
+                    future: Future = Future()
+                    try:
+                        future.set_result(
+                            self._run_experiment(circuit, shots, circuit_seed, memory, **options)
+                        )
+                    except BaseException as exc:  # noqa: BLE001 - delivered via Job.result()
+                        future.set_exception(exc)
+                    futures.append(future)
+                    if future.exception() is not None:
+                        break
             return Job(self, futures, submitted_at=submitted_at)
 
-        pool_cls = ProcessPoolExecutor if executor == "process" else ThreadPoolExecutor
-        pool = pool_cls(max_workers=min(workers, len(batch)))
-        try:
-            futures = [
-                pool.submit(_execute_experiment, self, circuit, shots, circuit_seed, memory, options)
-                for circuit, circuit_seed in zip(batch, seeds)
-            ]
-        except BaseException:
-            pool.shutdown(wait=False)
-            raise
+        # parallel dispatch: the span covers submission only -- the pool's
+        # workers trace into their own threads/processes
+        with telemetry.span(
+            "backend.run", backend=self.name, circuits=len(batch), dispatch=executor
+        ):
+            pool_cls = ProcessPoolExecutor if executor == "process" else ThreadPoolExecutor
+            pool = pool_cls(max_workers=min(workers, len(batch)))
+            try:
+                futures = [
+                    pool.submit(
+                        _execute_experiment, self, circuit, shots, circuit_seed, memory, options
+                    )
+                    for circuit, circuit_seed in zip(batch, seeds)
+                ]
+            except BaseException:
+                pool.shutdown(wait=False)
+                raise
         return Job(self, futures, executor=pool, submitted_at=submitted_at)
 
     # -- internals ---------------------------------------------------------------

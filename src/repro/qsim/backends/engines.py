@@ -32,6 +32,7 @@ from ..simulator import (
     measurements_are_final,
 )
 from ..stabilizer import StabilizerSimulator
+from .. import telemetry
 from .backend import Backend
 from .result import ExperimentResult
 
@@ -58,6 +59,26 @@ _KRAUS_BACKENDS = frozenset({"density_matrix", "dm", "density"})
 PER_SHOT_CHUNKS = 8
 
 
+def _run_span(backend_name: str, circuit: QuantumCircuit, shots: int) -> telemetry.span:
+    """Span plus throughput counters for one experiment on *backend_name*.
+
+    The counters are the per-engine traffic axes the service aggregates
+    (experiments, shots, gate volume); the span is what nests under the
+    worker's per-job trace.  Guarded on the telemetry switch so a disabled
+    run allocates nothing.
+    """
+    if telemetry.enabled():
+        telemetry.counter(f"engine.{backend_name}.experiments").inc()
+        telemetry.counter(f"engine.{backend_name}.shots").inc(shots)
+        telemetry.counter(f"engine.{backend_name}.gates").inc(len(circuit.data))
+    return telemetry.span(
+        f"engine.{backend_name}.run",
+        circuit=circuit.name,
+        gates=len(circuit.data),
+        shots=shots,
+    )
+
+
 def _wrap(
     circuit: QuantumCircuit,
     engine_result: EngineResult,
@@ -66,12 +87,15 @@ def _wrap(
     started: float,
     metadata: Dict[str, Any],
 ) -> ExperimentResult:
+    time_taken = time.perf_counter() - started
+    if telemetry.enabled():
+        telemetry.histogram("engine.run.seconds").observe(time_taken)
     return ExperimentResult(
         name=circuit.name,
         counts=dict(engine_result.counts),
         shots=shots,
         seed=seed,
-        time_taken=time.perf_counter() - started,
+        time_taken=time_taken,
         statevector=engine_result.statevector,
         density_matrix=engine_result.density_matrix,
         memory=engine_result.memory,
@@ -138,16 +162,19 @@ class StatevectorBackend(Backend):
             # the backend RNG (reproducible given the backend's own seed)
             # instead of silently ignoring the shot_workers request
             seed = int(self._rng.integers(0, 2**63))
-        if per_shot and shot_workers is not None and seed is not None:
-            engine_result = self._run_per_shot_chunked(
-                circuit, shots, seed, memory, shot_workers
-            )
-            metadata = {"method": "per_shot_chunked", "chunks": min(shots, PER_SHOT_CHUNKS)}
+        with _run_span(self.name, circuit, shots) as sp:
+            if per_shot and shot_workers is not None and seed is not None:
+                engine_result = self._run_per_shot_chunked(
+                    circuit, shots, seed, memory, shot_workers
+                )
+                metadata = {"method": "per_shot_chunked", "chunks": min(shots, PER_SHOT_CHUNKS)}
+                sp.tag(method=metadata["method"])
+                return _wrap(circuit, engine_result, shots, seed, started, metadata)
+            engine = self._engine if seed is None else self._fresh_engine(seed)
+            engine_result = engine.run(circuit, shots=shots, memory=memory)
+            metadata = {"method": "per_shot" if per_shot else "sampled"}
+            sp.tag(method=metadata["method"])
             return _wrap(circuit, engine_result, shots, seed, started, metadata)
-        engine = self._engine if seed is None else self._fresh_engine(seed)
-        engine_result = engine.run(circuit, shots=shots, memory=memory)
-        metadata = {"method": "per_shot" if per_shot else "sampled"}
-        return _wrap(circuit, engine_result, shots, seed, started, metadata)
 
     def _run_per_shot_chunked(
         self,
@@ -224,13 +251,15 @@ class DensityMatrixBackend(Backend):
         if options:
             raise BackendError(f"unknown run options {sorted(options)} for {self.name!r}")
         started = time.perf_counter()
-        if seed is None:
-            engine = self._engine
-        else:
-            engine = DensityMatrixSimulator(seed=seed, gate_noise=self._engine.gate_noise)
-        engine_result = engine.run(circuit, shots=shots, memory=memory)
-        method = "sampled" if measurements_are_final(circuit) else "per_shot"
-        return _wrap(circuit, engine_result, shots, seed, started, {"method": method})
+        with _run_span(self.name, circuit, shots) as sp:
+            if seed is None:
+                engine = self._engine
+            else:
+                engine = DensityMatrixSimulator(seed=seed, gate_noise=self._engine.gate_noise)
+            engine_result = engine.run(circuit, shots=shots, memory=memory)
+            method = "sampled" if measurements_are_final(circuit) else "per_shot"
+            sp.tag(method=method)
+            return _wrap(circuit, engine_result, shots, seed, started, {"method": method})
 
 
 class StabilizerBackend(Backend):
@@ -301,13 +330,15 @@ class StabilizerBackend(Backend):
         if options:
             raise BackendError(f"unknown run options {sorted(options)} for {self.name!r}")
         started = time.perf_counter()
-        engine = self._engine if seed is None else self._fresh_engine(seed)
-        try:
-            engine_result = engine.run(circuit, shots=shots, memory=memory)
-        except SimulationError as exc:
-            raise BackendError(str(exc)) from exc
-        method = "stabilizer" if engine.noise_model is None else "stabilizer_noisy"
-        return _wrap(circuit, engine_result, shots, seed, started, {"method": method})
+        with _run_span(self.name, circuit, shots) as sp:
+            engine = self._engine if seed is None else self._fresh_engine(seed)
+            try:
+                engine_result = engine.run(circuit, shots=shots, memory=memory)
+            except SimulationError as exc:
+                raise BackendError(str(exc)) from exc
+            method = "stabilizer" if engine.noise_model is None else "stabilizer_noisy"
+            sp.tag(method=method)
+            return _wrap(circuit, engine_result, shots, seed, started, {"method": method})
 
 
 def build_noisy_backend(

@@ -117,6 +117,17 @@ def fuse_gates(
     """
     if max_fused_qubits < 1:
         raise ValueError("max_fused_qubits must be at least 1")
+    from . import telemetry
+
+    with telemetry.span(
+        "fusion", circuit=circuit.name, gates=len(circuit.data)
+    ) as _fusion_span:
+        return _fuse_gates_impl(circuit, max_fused_qubits, _fusion_span)
+
+
+def _fuse_gates_impl(
+    circuit: QuantumCircuit, max_fused_qubits: int, _span
+) -> QuantumCircuit:
     open_blocks: List[_Block] = []
     emitted: List[CircuitInstruction] = []
 
@@ -167,6 +178,7 @@ def fuse_gates(
     # measurable on transpile-per-run workloads).  Unfused instructions are
     # shared with the source circuit, matching its shallow-copy semantics.
     out.data = emitted
+    _span.tag(gates_out=len(emitted))
     return out
 
 

@@ -21,7 +21,7 @@ semantics.
 from .cache import CircuitCache
 from .payload import BatchPayload
 from .store import JobRecord, JobStore, ServiceError
-from .worker import WorkerFleet, execute_payload, worker_loop
+from .worker import WorkerFleet, configure_logging, execute_payload, worker_loop
 
 __all__ = [
     "BatchPayload",
@@ -30,6 +30,7 @@ __all__ = [
     "JobStore",
     "ServiceError",
     "WorkerFleet",
+    "configure_logging",
     "execute_payload",
     "worker_loop",
 ]

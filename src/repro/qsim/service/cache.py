@@ -36,6 +36,7 @@ import hashlib
 from collections import OrderedDict
 from typing import Dict, Tuple
 
+from .. import telemetry
 from ..circuit import QuantumCircuit
 from ..exceptions import QasmError
 from ..fusion import fuse_gates
@@ -107,6 +108,30 @@ class CircuitCache:
         is shared between callers -- copy before mutating.
         """
         noisy = noise_tag != "noiseless"
+        with telemetry.span("cache.lookup", backend=backend_name) as sp:
+            circuit, kind = self._compiled_inner(qasm, backend_name, noise_tag, fuse, noisy)
+        sp.tag(kind=kind)
+        if telemetry.enabled():
+            # process-wide twins of the per-job stats dict: the service-level
+            # hit-rate without reading every job artifact back
+            if kind == "memory_hit":
+                telemetry.counter("cache.memory_hits").inc()
+            elif kind == "disk_hit":
+                telemetry.counter("cache.disk_hits").inc()
+            else:
+                telemetry.counter("cache.misses").inc()
+                if kind == "corrupt":
+                    telemetry.counter("cache.corrupt").inc()
+        return circuit, kind
+
+    def _compiled_inner(
+        self,
+        qasm: str,
+        backend_name: str,
+        noise_tag: str,
+        fuse: bool,
+        noisy: bool,
+    ) -> Tuple[QuantumCircuit, str]:
         cache_key = self.key(qasm, backend_name, noise_tag)
         cached = self._memory.get(cache_key)
         if cached is not None:
@@ -117,7 +142,8 @@ class CircuitCache:
         compiled_text = self.store.cache_get(cache_key)
         if compiled_text is not None:
             try:
-                circuit = self._finalize(from_qasm(compiled_text), fuse)
+                with telemetry.span("cache.parse"):
+                    circuit = self._finalize(from_qasm(compiled_text), fuse)
                 self._remember(cache_key, circuit)
                 return circuit, "disk_hit"
             except QasmError:
@@ -125,12 +151,13 @@ class CircuitCache:
                 self.store.cache_delete(cache_key)
                 kind = "corrupt"
 
-        compiled_text = self._compile_text(qasm, noisy)
-        self.store.cache_put(cache_key, backend_name.lower(), noise_tag, compiled_text)
-        # execute what the store holds, not the in-flight object: a future
-        # disk hit then re-parses the identical text, so hit and miss paths
-        # run float-for-float identical circuits
-        circuit = self._finalize(from_qasm(compiled_text), fuse)
+        with telemetry.span("cache.compile", noisy=noisy):
+            compiled_text = self._compile_text(qasm, noisy)
+            self.store.cache_put(cache_key, backend_name.lower(), noise_tag, compiled_text)
+            # execute what the store holds, not the in-flight object: a future
+            # disk hit then re-parses the identical text, so hit and miss paths
+            # run float-for-float identical circuits
+            circuit = self._finalize(from_qasm(compiled_text), fuse)
         self._remember(cache_key, circuit)
         return circuit, kind
 
@@ -149,18 +176,19 @@ class CircuitCache:
         noise_tag = payload.noise_tag()
         stats = {"hits": 0, "memory_hits": 0, "disk_hits": 0, "misses": 0, "corrupt": 0}
         circuits = []
-        for index, entry in enumerate(payload.circuits):
-            circuit, kind = self.compiled(entry["qasm"], backend_name, noise_tag, fuse)
-            if kind == "memory_hit":
-                stats["memory_hits"] += 1
-            elif kind == "disk_hit":
-                stats["disk_hits"] += 1
-            else:
-                stats["misses"] += 1
-                if kind == "corrupt":
-                    stats["corrupt"] += 1
-            # the cached object is shared across jobs; run a cheap copy so
-            # per-entry names never leak between payloads
-            circuits.append(circuit.copy(name=entry.get("name", f"experiment-{index}")))
+        with telemetry.span("cache.compile_batch", circuits=len(payload.circuits)):
+            for index, entry in enumerate(payload.circuits):
+                circuit, kind = self.compiled(entry["qasm"], backend_name, noise_tag, fuse)
+                if kind == "memory_hit":
+                    stats["memory_hits"] += 1
+                elif kind == "disk_hit":
+                    stats["disk_hits"] += 1
+                else:
+                    stats["misses"] += 1
+                    if kind == "corrupt":
+                        stats["corrupt"] += 1
+                # the cached object is shared across jobs; run a cheap copy so
+                # per-entry names never leak between payloads
+                circuits.append(circuit.copy(name=entry.get("name", f"experiment-{index}")))
         stats["hits"] = stats["memory_hits"] + stats["disk_hits"]
         return circuits, stats

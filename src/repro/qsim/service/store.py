@@ -68,7 +68,8 @@ CREATE TABLE IF NOT EXISTS jobs (
     lease_expires_at REAL,
     heartbeat_at     REAL,
     result           TEXT,
-    error            TEXT
+    error            TEXT,
+    telemetry        TEXT
 );
 CREATE INDEX IF NOT EXISTS idx_jobs_claim ON jobs (state, not_before, created_at);
 
@@ -104,6 +105,7 @@ class JobRecord:
     heartbeat_at: Optional[float]
     result: Optional[str]
     error: Optional[str]
+    telemetry: Optional[str] = None
 
     @property
     def is_terminal(self) -> bool:
@@ -116,6 +118,20 @@ class JobRecord:
                 f"job {self.job_id} has no result (state {self.state})"
             )
         return json.loads(self.result)
+
+    def telemetry_dict(self) -> Dict[str, Any]:
+        """The stored telemetry artifact (span tree + metrics delta).
+
+        Raises :class:`ServiceError` when the job has none -- either it is
+        not ``DONE`` yet, or it ran with telemetry disabled (or on a build
+        that predates the subsystem).
+        """
+        if self.telemetry is None:
+            raise ServiceError(
+                f"job {self.job_id} has no telemetry artifact (state {self.state};"
+                " jobs record one on completion when telemetry is enabled)"
+            )
+        return json.loads(self.telemetry)
 
 
 def _row_to_record(row: sqlite3.Row) -> JobRecord:
@@ -135,6 +151,27 @@ class JobStore:
         self._conn.execute("PRAGMA synchronous=NORMAL")
         self._conn.execute(f"PRAGMA busy_timeout={int(timeout * 1000)}")
         self._conn.executescript(_SCHEMA)
+        self._migrate()
+
+    def _migrate(self) -> None:
+        """Bring a database created by an older build up to this schema.
+
+        ``CREATE TABLE IF NOT EXISTS`` leaves pre-existing tables untouched,
+        so columns added later (``telemetry``, PR 7) must be grafted onto
+        old databases here.  ``ADD COLUMN`` with no constraints is a pure
+        metadata operation in sqlite -- safe on a live multi-process store.
+        """
+        columns = {
+            row["name"] for row in self._conn.execute("PRAGMA table_info(jobs)")
+        }
+        if "telemetry" not in columns:
+            try:
+                self._conn.execute("ALTER TABLE jobs ADD COLUMN telemetry TEXT")
+            except sqlite3.OperationalError as exc:  # pragma: no cover - migration race
+                # two processes opening an old database concurrently: the
+                # loser's duplicate ALTER is harmless
+                if "duplicate column" not in str(exc).lower():
+                    raise
 
     def close(self) -> None:
         self._conn.close()
@@ -193,7 +230,13 @@ class JobStore:
         return [_row_to_record(row) for row in rows]
 
     def stats(self) -> Dict[str, Any]:
-        """Queue health snapshot: per-state counts, depth, cache size."""
+        """Queue health snapshot: per-state counts, depth, cache statistics.
+
+        ``job_cache`` aggregates the per-job cache hit/miss metadata across
+        every ``DONE`` job, so the fleet-wide hit-rate (the number the
+        compiled-circuit cache exists to maximise) is one ``queue-stats``
+        away instead of buried in individual job artifacts.
+        """
         counts = {state: 0 for state in JOB_STATES}
         for row in self._conn.execute("SELECT state, COUNT(*) AS n FROM jobs GROUP BY state"):
             counts[row["state"]] = row["n"]
@@ -203,12 +246,24 @@ class JobStore:
         cache = self._conn.execute(
             "SELECT COUNT(*) AS n, COALESCE(SUM(hits), 0) AS hits FROM compiled_circuits"
         ).fetchone()
+        job_cache = {"hits": 0, "misses": 0, "corrupt": 0, "jobs": 0}
+        for row in self._conn.execute("SELECT result FROM jobs WHERE state = 'DONE'"):
+            try:
+                per_job = json.loads(row["result"])["metadata"]["cache"]
+            except (TypeError, KeyError, ValueError):
+                continue  # a DONE job recorded by an older build, or hand-edited
+            job_cache["jobs"] += 1
+            for key in ("hits", "misses", "corrupt"):
+                job_cache[key] += int(per_job.get(key, 0))
+        lookups = job_cache["hits"] + job_cache["misses"]
+        job_cache["hit_rate"] = (job_cache["hits"] / lookups) if lookups else None
         return {
             "states": counts,
             "queued_depth": counts["QUEUED"],
             "oldest_queued_age": None if oldest is None else max(0.0, time.time() - oldest),
             "cache_entries": cache["n"],
             "cache_disk_hits": cache["hits"],
+            "job_cache": job_cache,
         }
 
     # -- worker-side transitions -------------------------------------------------
@@ -253,18 +308,33 @@ class JobStore:
         )
         return cursor.rowcount == 1
 
-    def finish(self, job_id: str, worker_id: str, result: Dict[str, Any]) -> bool:
+    def finish(
+        self,
+        job_id: str,
+        worker_id: str,
+        result: Dict[str, Any],
+        telemetry: Optional[Dict[str, Any]] = None,
+    ) -> bool:
         """Record a successful execution: ``RUNNING -> DONE`` with artifacts.
 
         Guarded on both state and ownership, so a cancel or reclaim that
         raced the execution wins and the stale result is dropped (the
         ``False`` return tells the worker its work was discarded).
+        *telemetry*, when given, is the worker's per-job observability
+        artifact -- the span tree plus the metrics delta -- stored alongside
+        the result and surfaced by the ``trace`` / ``metrics`` CLI verbs.
         """
         cursor = self._conn.execute(
-            "UPDATE jobs SET state = 'DONE', result = ?, error = NULL, updated_at = ?,"
-            " lease_expires_at = NULL WHERE job_id = ? AND state = 'RUNNING'"
-            " AND worker_id = ?",
-            (json.dumps(result), time.time(), job_id, worker_id),
+            "UPDATE jobs SET state = 'DONE', result = ?, error = NULL, telemetry = ?,"
+            " updated_at = ?, lease_expires_at = NULL WHERE job_id = ?"
+            " AND state = 'RUNNING' AND worker_id = ?",
+            (
+                json.dumps(result),
+                None if telemetry is None else json.dumps(telemetry),
+                time.time(),
+                job_id,
+                worker_id,
+            ),
         )
         return cursor.rowcount == 1
 
@@ -337,6 +407,51 @@ class JobStore:
             (time.time(), job_id),
         )
         return cursor.rowcount == 1
+
+    # -- retention ---------------------------------------------------------------
+
+    def purge(self, older_than: float) -> int:
+        """Delete terminal ``DONE``/``CANCELLED`` jobs older than a TTL.
+
+        *older_than* is an age in seconds measured against ``updated_at``
+        (the moment the job went terminal); ``0`` purges every finished and
+        cancelled job.  Artifacts (result, error, telemetry) go with the
+        row -- this is the retention/GC half of the durable queue.
+        ``FAILED`` jobs are deliberately kept: their traceback artifact is
+        the only record of what went wrong, so disposing of them is an
+        explicit operator decision (cancel semantics do not apply either).
+        Returns the number of deleted rows.
+        """
+        if older_than < 0:
+            raise ServiceError("older_than must be >= 0 seconds")
+        cursor = self._conn.execute(
+            "DELETE FROM jobs WHERE state IN ('DONE', 'CANCELLED') AND updated_at < ?",
+            (time.time() - older_than,),
+        )
+        return cursor.rowcount
+
+    # -- telemetry artifacts -------------------------------------------------------
+
+    def aggregate_telemetry_metrics(self) -> Dict[str, Any]:
+        """Merged per-job metrics deltas across every ``DONE`` job.
+
+        Each completed job carries the metrics its execution contributed
+        (see :meth:`finish`); folding the deltas with
+        :func:`repro.qsim.telemetry.merge_snapshots` yields fleet-wide
+        totals -- what the ``metrics`` CLI verb prints.  Jobs without an
+        artifact (telemetry disabled, older builds) are skipped.
+        """
+        from ..telemetry import merge_snapshots
+
+        snapshots = []
+        for row in self._conn.execute(
+            "SELECT telemetry FROM jobs WHERE state = 'DONE' AND telemetry IS NOT NULL"
+        ):
+            try:
+                snapshots.append(json.loads(row["telemetry"]).get("metrics"))
+            except ValueError:
+                continue
+        return merge_snapshots(snapshots)
 
     # -- compiled-circuit cache rows ---------------------------------------------
 

@@ -28,6 +28,7 @@ shell; the ``qutes worker`` CLI verb wraps the same entry point.
 from __future__ import annotations
 
 import argparse
+import logging
 import multiprocessing
 import os
 import socket
@@ -37,11 +38,17 @@ import traceback
 import uuid
 from typing import Any, Dict, List, Optional, Tuple
 
+from .. import telemetry
 from .cache import CircuitCache
 from .payload import BatchPayload
 from .store import JobRecord, JobStore
 
-__all__ = ["execute_payload", "worker_loop", "WorkerFleet"]
+__all__ = ["execute_payload", "worker_loop", "WorkerFleet", "configure_logging", "logger"]
+
+#: every worker/service module logs through this logger; handlers and level
+#: are the *application's* choice (the CLI's --verbose/--quiet flags call
+#: :func:`configure_logging`) -- the library itself never calls basicConfig
+logger = logging.getLogger("repro.qsim.service")
 
 #: a worker must heartbeat within this window or its job is reclaimed
 DEFAULT_LEASE_TIMEOUT = 15.0
@@ -49,6 +56,24 @@ DEFAULT_LEASE_TIMEOUT = 15.0
 DEFAULT_POLL_INTERVAL = 0.2
 #: base of the exponential retry backoff
 DEFAULT_RETRY_DELAY = 0.5
+
+
+def configure_logging(verbosity: int = 0) -> None:
+    """Wire the service logger to stderr at a verbosity chosen by the CLI.
+
+    ``verbosity`` is the net of ``--verbose``/``--quiet`` flags: 0 logs
+    lifecycle events (INFO), positive adds per-claim detail (DEBUG),
+    negative keeps only problems (WARNING).  Uses ``logging.basicConfig``,
+    so an application that already configured handlers wins.
+    """
+    if verbosity > 0:
+        level = logging.DEBUG
+    elif verbosity < 0:
+        level = logging.WARNING
+    else:
+        level = logging.INFO
+    logging.basicConfig(format="%(asctime)s %(levelname)s %(name)s %(message)s")
+    logger.setLevel(level)
 
 
 def _new_worker_id() -> str:
@@ -128,6 +153,10 @@ class _Heartbeat(threading.Thread):
         self.join(timeout=5.0)
 
 
+#: shape version of the per-job telemetry artifact
+TELEMETRY_ARTIFACT_VERSION = 1
+
+
 def _process_one(
     store: JobStore,
     cache: CircuitCache,
@@ -136,24 +165,68 @@ def _process_one(
     db_path: str,
     lease_timeout: float,
     retry_delay: float,
+    claim_wall_s: float = 0.0,
+    claim_cpu_s: float = 0.0,
 ) -> None:
     heartbeat = _Heartbeat(db_path, record.job_id, worker_id, lease_timeout)
     heartbeat.start()
+    # each job gets a fresh trace: drop roots nobody drained plus any span
+    # stack a previous exception may have stranded
+    telemetry.clear_spans()
+    metrics_before = telemetry.snapshot() if telemetry.enabled() else None
+    job_span = None
     try:
-        payload = BatchPayload.from_json(record.payload)
-        result_dict = execute_payload(payload, cache)
-        result_dict["metadata"].update(
-            job_id=record.job_id, worker_id=worker_id, attempt=record.attempts
-        )
+        with telemetry.span(
+            "job", job_id=record.job_id, worker=worker_id, attempt=record.attempts
+        ) as job_span:
+            # the claim ran before we knew there was a job to trace; graft
+            # its hand-measured cost in so the tree accounts for it
+            telemetry.record("claim", claim_wall_s, claim_cpu_s)
+            with telemetry.span("payload.parse"):
+                payload = BatchPayload.from_json(record.payload)
+            result_dict = execute_payload(payload, cache)
+            with telemetry.span("finalize"):
+                result_dict["metadata"].update(
+                    job_id=record.job_id, worker_id=worker_id, attempt=record.attempts
+                )
     except Exception:
         heartbeat.stop()
         backoff = retry_delay * (2 ** max(0, record.attempts - 1))
-        store.fail(record.job_id, worker_id, traceback.format_exc(), backoff)
+        state = store.fail(record.job_id, worker_id, traceback.format_exc(), backoff)
+        if state == "FAILED":
+            logger.error(
+                "event=failed job=%s worker=%s attempt=%d", record.job_id, worker_id,
+                record.attempts, exc_info=True,
+            )
+        else:
+            logger.warning(
+                "event=retry job=%s worker=%s attempt=%d backoff=%.2fs state=%s",
+                record.job_id, worker_id, record.attempts, backoff, state,
+            )
         return
     heartbeat.stop()
+    artifact = None
+    tree = {} if job_span is None else job_span.to_dict()
+    if tree:
+        telemetry.drain_spans()  # the root we just serialized
+        artifact = {
+            "version": TELEMETRY_ARTIFACT_VERSION,
+            "duration_s": claim_wall_s + tree["wall_s"],
+            "trace": tree,
+            "metrics": telemetry.snapshot_delta(metrics_before or {}, telemetry.snapshot()),
+        }
     # the guarded transition silently drops the result if a cancel or lease
     # reclaim won the race -- exactly what a durable queue must do
-    store.finish(record.job_id, worker_id, result_dict)
+    if store.finish(record.job_id, worker_id, result_dict, telemetry=artifact):
+        logger.info(
+            "event=done job=%s worker=%s attempt=%d wall=%.3fs",
+            record.job_id, worker_id, record.attempts,
+            claim_wall_s + (tree.get("wall_s", 0.0) if tree else 0.0),
+        )
+    else:
+        logger.warning(
+            "event=dropped job=%s worker=%s reason=lost-ownership", record.job_id, worker_id
+        )
 
 
 def worker_loop(
@@ -177,23 +250,35 @@ def worker_loop(
     store = JobStore(db_path)
     cache = CircuitCache(store, max_memory_entries=cache_memory_entries)
     processed = 0
+    logger.info("event=worker-start worker=%s db=%s burst=%s", worker_id, db_path, burst)
     try:
         while True:
-            store.reclaim_expired(retry_delay)
+            reclaimed = store.reclaim_expired(retry_delay)
+            if reclaimed:
+                logger.warning("event=reclaimed worker=%s jobs=%d", worker_id, reclaimed)
+            claim_wall0, claim_cpu0 = time.perf_counter(), time.process_time()
             record = store.claim(worker_id, lease_timeout)
+            claim_wall = time.perf_counter() - claim_wall0
+            claim_cpu = time.process_time() - claim_cpu0
             if record is None:
                 if burst:
                     break
                 time.sleep(poll_interval)
                 continue
+            logger.debug(
+                "event=claim job=%s worker=%s attempt=%d",
+                record.job_id, worker_id, record.attempts,
+            )
             _process_one(
-                store, cache, record, worker_id, db_path, lease_timeout, retry_delay
+                store, cache, record, worker_id, db_path, lease_timeout, retry_delay,
+                claim_wall_s=claim_wall, claim_cpu_s=claim_cpu,
             )
             processed += 1
             if max_jobs is not None and processed >= max_jobs:
                 break
     finally:
         store.close()
+        logger.info("event=worker-exit worker=%s processed=%d", worker_id, processed)
     return processed
 
 
@@ -286,7 +371,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=DEFAULT_RETRY_DELAY,
         help="base of the exponential retry backoff (s)",
     )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0, help="log per-claim detail (DEBUG)"
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="count", default=0, help="log only problems (WARNING)"
+    )
     args = parser.parse_args(argv)
+    configure_logging(args.verbose - args.quiet)
     kwargs = dict(
         lease_timeout=args.lease,
         poll_interval=args.poll,
@@ -295,8 +387,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         max_jobs=args.max_jobs,
     )
     if args.workers == 1:
-        processed = worker_loop(args.db, **kwargs)
-        print(f"worker processed {processed} job(s)")
+        worker_loop(args.db, **kwargs)
         return 0
     fleet = WorkerFleet(args.db, workers=args.workers, **kwargs)
     fleet.start()

@@ -1,0 +1,86 @@
+"""Always-on observability: tracing spans, metrics, exporters.
+
+The zero-dependency instrumentation layer every engine and the execution
+service report into:
+
+* :mod:`~repro.qsim.telemetry.trace` -- context-manager **spans** that nest
+  into per-thread trees (worker -> cache -> transpile -> engine), cheap
+  enough to leave enabled and exact no-ops after :func:`disable`;
+* :mod:`~repro.qsim.telemetry.metrics` -- a process-wide registry of
+  counters, gauges and fixed-bucket histograms, with snapshot/delta/merge
+  arithmetic so worker subprocesses ship their numbers back through the
+  job store;
+* :mod:`~repro.qsim.telemetry.export` -- JSON and Prometheus text
+  rendering of those snapshots.
+
+Typical use::
+
+    from repro.qsim import telemetry
+
+    with telemetry.span("my.operation", items=3) as sp:
+        ...                       # nested instrumented calls attach here
+        sp.tag(outcome="ok")
+
+    telemetry.counter("my.events").inc()
+    print(telemetry.export.to_prometheus(telemetry.snapshot()))
+
+See ``docs/observability.md`` for the guide, the ``trace`` / ``metrics``
+CLI verbs for the service-side consumers, and
+``benchmarks/bench_telemetry.py`` for the overhead gate.
+"""
+
+from . import export
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    REGISTRY,
+    counter,
+    gauge,
+    histogram,
+    merge_snapshots,
+    reset_metrics,
+    snapshot,
+    snapshot_delta,
+)
+from .trace import (
+    Span,
+    clear_spans,
+    current_span,
+    disable,
+    drain_spans,
+    enable,
+    enabled,
+    format_span_tree,
+    record,
+    span,
+)
+
+__all__ = [
+    "span",
+    "Span",
+    "record",
+    "current_span",
+    "drain_spans",
+    "clear_spans",
+    "enable",
+    "disable",
+    "enabled",
+    "format_span_tree",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "DEFAULT_BUCKETS",
+    "counter",
+    "gauge",
+    "histogram",
+    "snapshot",
+    "reset_metrics",
+    "snapshot_delta",
+    "merge_snapshots",
+    "export",
+]

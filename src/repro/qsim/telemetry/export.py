@@ -1,0 +1,70 @@
+"""Exporters: metrics snapshots as JSON or Prometheus text exposition.
+
+Both exporters take the plain-dict snapshot shape produced by
+:meth:`~repro.qsim.telemetry.metrics.MetricsRegistry.snapshot` (and by the
+snapshot arithmetic helpers), so anything that travelled through the job
+store exports identically to a live registry.
+
+The Prometheus format follows the text exposition conventions: metric
+names are sanitised (``.`` and ``-`` become ``_``), every family gets a
+``# TYPE`` line, and histograms emit cumulative ``_bucket{le="..."}``
+series ending in ``le="+Inf"`` plus ``_sum``/``_count`` -- scrape-able by
+an actual Prometheus should this service ever grow an HTTP front end.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any, Dict, List
+
+__all__ = ["to_json", "to_prometheus"]
+
+_NAME_SANITISE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def to_json(snapshot: Dict[str, Any], indent: int = 2) -> str:
+    """The snapshot as pretty-printed JSON (machine consumers, CI artifacts)."""
+    return json.dumps(snapshot, indent=indent, sort_keys=True) + "\n"
+
+
+def _prom_name(name: str) -> str:
+    sanitised = _NAME_SANITISE.sub("_", name)
+    if sanitised and sanitised[0].isdigit():
+        sanitised = "_" + sanitised
+    return sanitised
+
+
+def _prom_value(value: float) -> str:
+    # Prometheus wants bare numbers; render integral floats without the .0
+    return str(int(value)) if float(value).is_integer() else repr(float(value))
+
+
+def to_prometheus(snapshot: Dict[str, Any], prefix: str = "qsim") -> str:
+    """The snapshot in Prometheus text exposition format."""
+    lines: List[str] = []
+    prefix = _prom_name(prefix)
+
+    for name, value in sorted(snapshot.get("counters", {}).items()):
+        metric = f"{prefix}_{_prom_name(name)}"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_prom_value(value)}")
+
+    for name, value in sorted(snapshot.get("gauges", {}).items()):
+        metric = f"{prefix}_{_prom_name(name)}"
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_prom_value(value)}")
+
+    for name, hist in sorted(snapshot.get("histograms", {}).items()):
+        metric = f"{prefix}_{_prom_name(name)}"
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        for bound, count in zip(hist["buckets"], hist["counts"]):
+            cumulative += count
+            lines.append(f'{metric}_bucket{{le="{bound}"}} {cumulative}')
+        cumulative += hist["counts"][-1]
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {cumulative}')
+        lines.append(f"{metric}_sum {_prom_value(hist['sum'])}")
+        lines.append(f"{metric}_count {hist['count']}")
+
+    return "\n".join(lines) + "\n" if lines else ""

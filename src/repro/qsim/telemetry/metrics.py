@@ -1,0 +1,290 @@
+"""Metrics registry: process-wide counters, gauges and histograms.
+
+One :class:`MetricsRegistry` per process (module-level :data:`REGISTRY`,
+reachable through the convenience constructors :func:`counter`,
+:func:`gauge` and :func:`histogram`).  Instruments are created on first
+use and cached by name, so hot paths pay one dict lookup; mutation methods
+check the shared telemetry switch (:func:`repro.qsim.telemetry.disable`)
+and are exact no-ops while it is off.
+
+Because the execution service runs workers as separate OS processes, the
+registry is built around **snapshots**: :meth:`MetricsRegistry.snapshot`
+freezes every instrument into a plain JSON-able dict, :func:`snapshot_delta`
+subtracts two snapshots (what did *this job* contribute?), and
+:func:`merge_snapshots` folds any number of per-job deltas back into one
+aggregate -- which is exactly how worker metrics travel through the job
+store to the ``metrics`` CLI verb.  Counter and histogram merges add;
+gauges keep the most recent value.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Optional, Sequence, Union
+
+from .trace import CONFIG
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "counter",
+    "gauge",
+    "histogram",
+    "snapshot",
+    "reset_metrics",
+    "snapshot_delta",
+    "merge_snapshots",
+    "DEFAULT_BUCKETS",
+]
+
+#: default histogram bucket upper bounds, in seconds -- sized for the
+#: latencies this stack actually produces (sub-ms cache hits up to
+#: multi-second noisy batches); the implicit +inf bucket is always last
+DEFAULT_BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 30.0)
+
+
+class Counter:
+    """Monotonically increasing value (events, shots, cache hits)."""
+
+    __slots__ = ("name", "value")
+
+    kind = "counter"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        if not CONFIG.enabled:
+            return
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (inc({amount}))")
+        self.value += amount
+
+
+class Gauge:
+    """Point-in-time value (queue depth, cache size)."""
+
+    __slots__ = ("name", "value")
+
+    kind = "gauge"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: Union[int, float]) -> None:
+        if not CONFIG.enabled:
+            return
+        self.value = float(value)
+
+
+class Histogram:
+    """Fixed-bucket distribution (latencies); buckets are upper bounds.
+
+    ``counts`` has one slot per bucket plus a final +inf slot, matching the
+    Prometheus histogram model (the exporter emits cumulative ``le``
+    buckets from these).
+    """
+
+    __slots__ = ("name", "buckets", "counts", "sum", "count")
+
+    kind = "histogram"
+
+    def __init__(self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS):
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError(f"histogram {name!r} needs sorted, non-empty buckets")
+        self.name = name
+        self.buckets = bounds
+        self.counts = [0] * (len(bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: Union[int, float]) -> None:
+        if not CONFIG.enabled:
+            return
+        value = float(value)
+        index = 0
+        for bound in self.buckets:
+            if value <= bound:
+                break
+            index += 1
+        self.counts[index] += 1
+        self.sum += value
+        self.count += 1
+
+
+_Instrument = Union[Counter, Gauge, Histogram]
+
+# returned while telemetry is disabled: accept writes (which the
+# CONFIG.enabled guards drop anyway) without ever touching the registry,
+# so a disabled process registers exactly zero instruments
+_NULL_COUNTER = Counter("<disabled>")
+_NULL_GAUGE = Gauge("<disabled>")
+_NULL_HISTOGRAM = Histogram("<disabled>")
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use; thread-safe registration."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, _Instrument] = {}
+        self._lock = threading.Lock()
+
+    def _get(self, name: str, cls, *args) -> _Instrument:
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise ValueError(
+                    f"metric {name!r} is already a {existing.kind}, not a {cls.kind}"
+                )
+            return existing
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is None:
+                existing = self._metrics[name] = cls(name, *args)
+            elif not isinstance(existing, cls):
+                raise ValueError(
+                    f"metric {name!r} is already a {existing.kind}, not a {cls.kind}"
+                )
+            return existing
+
+    def counter(self, name: str) -> Counter:
+        if not CONFIG.enabled:
+            return _NULL_COUNTER
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        if not CONFIG.enabled:
+            return _NULL_GAUGE
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
+        if not CONFIG.enabled:
+            return _NULL_HISTOGRAM
+        return self._get(name, Histogram, buckets)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Freeze every instrument into the JSON-able snapshot shape."""
+        counters: Dict[str, float] = {}
+        gauges: Dict[str, float] = {}
+        histograms: Dict[str, Dict[str, Any]] = {}
+        for name, metric in sorted(self._metrics.items()):
+            if isinstance(metric, Counter):
+                counters[name] = metric.value
+            elif isinstance(metric, Gauge):
+                gauges[name] = metric.value
+            else:
+                histograms[name] = {
+                    "buckets": list(metric.buckets),
+                    "counts": list(metric.counts),
+                    "sum": metric.sum,
+                    "count": metric.count,
+                }
+        return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+    def reset(self) -> None:
+        """Drop every instrument (tests and benchmark phases)."""
+        with self._lock:
+            self._metrics.clear()
+
+
+#: the process-wide registry every instrumented layer reports into
+REGISTRY = MetricsRegistry()
+
+
+def counter(name: str) -> Counter:
+    return REGISTRY.counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    return REGISTRY.gauge(name)
+
+
+def histogram(name: str, buckets: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
+    return REGISTRY.histogram(name, buckets)
+
+
+def snapshot() -> Dict[str, Any]:
+    return REGISTRY.snapshot()
+
+
+def reset_metrics() -> None:
+    REGISTRY.reset()
+
+
+# ---------------------------------------------------------------------------
+# snapshot arithmetic
+# ---------------------------------------------------------------------------
+
+
+def _empty_snapshot() -> Dict[str, Any]:
+    return {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+def snapshot_delta(before: Dict[str, Any], after: Dict[str, Any]) -> Dict[str, Any]:
+    """What changed between two snapshots of the *same* registry.
+
+    Counters and histograms subtract (an instrument absent from *before*
+    counts from zero); gauges keep the *after* value.  Zero-valued counter
+    deltas are dropped so per-job artifacts stay small.
+    """
+    delta = _empty_snapshot()
+    for name, value in after.get("counters", {}).items():
+        change = value - before.get("counters", {}).get(name, 0.0)
+        if change:
+            delta["counters"][name] = change
+    delta["gauges"] = dict(after.get("gauges", {}))
+    before_hists = before.get("histograms", {})
+    for name, hist in after.get("histograms", {}).items():
+        prior = before_hists.get(name)
+        if prior is not None and prior.get("buckets") == hist.get("buckets"):
+            counts = [a - b for a, b in zip(hist["counts"], prior["counts"])]
+            total = hist["count"] - prior["count"]
+            total_sum = hist["sum"] - prior["sum"]
+        else:
+            counts, total, total_sum = list(hist["counts"]), hist["count"], hist["sum"]
+        if total:
+            delta["histograms"][name] = {
+                "buckets": list(hist["buckets"]),
+                "counts": counts,
+                "sum": total_sum,
+                "count": total,
+            }
+    return delta
+
+
+def merge_snapshots(snapshots: Sequence[Optional[Dict[str, Any]]]) -> Dict[str, Any]:
+    """Fold per-job/per-worker snapshots into one aggregate.
+
+    ``None`` entries (jobs recorded before telemetry existed) are skipped.
+    Histograms with mismatched bucket bounds keep the first shape seen and
+    fold the stragglers into ``sum``/``count`` only, so an old artifact can
+    never corrupt the bucket table.
+    """
+    merged = _empty_snapshot()
+    for snap in snapshots:
+        if not snap:
+            continue
+        for name, value in snap.get("counters", {}).items():
+            merged["counters"][name] = merged["counters"].get(name, 0.0) + value
+        merged["gauges"].update(snap.get("gauges", {}))
+        for name, hist in snap.get("histograms", {}).items():
+            target = merged["histograms"].get(name)
+            if target is None:
+                merged["histograms"][name] = {
+                    "buckets": list(hist["buckets"]),
+                    "counts": list(hist["counts"]),
+                    "sum": hist["sum"],
+                    "count": hist["count"],
+                }
+                continue
+            if target["buckets"] == hist["buckets"]:
+                target["counts"] = [a + b for a, b in zip(target["counts"], hist["counts"])]
+            target["sum"] += hist["sum"]
+            target["count"] += hist["count"]
+    return merged

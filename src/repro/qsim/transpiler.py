@@ -64,11 +64,21 @@ def transpile(
       contains anonymous :class:`UnitaryGate` blocks and is intended for the
       simulator, not for gate-count metrics or QASM export.
     """
-    if optimization_level <= 0:
-        return circuit.copy()
-    return optimize(
-        circuit, fuse=optimization_level >= 2, max_fused_qubits=max_fused_qubits
-    )
+    from . import telemetry
+
+    if telemetry.enabled():
+        telemetry.counter("transpile.circuits").inc()
+        telemetry.counter("transpile.gates_in").inc(len(circuit.data))
+    with telemetry.span(
+        "transpile", circuit=circuit.name, level=optimization_level, gates=len(circuit.data)
+    ) as sp:
+        if optimization_level <= 0:
+            return circuit.copy()
+        out = optimize(
+            circuit, fuse=optimization_level >= 2, max_fused_qubits=max_fused_qubits
+        )
+        sp.tag(gates_out=len(out.data))
+        return out
 
 _BASIS = {"id", "x", "y", "z", "h", "s", "sdg", "t", "tdg", "sx", "rx", "ry", "rz", "p", "u2", "u3", "cx"}
 

@@ -1,0 +1,156 @@
+"""Per-job telemetry artifacts: worker capture, store persistence, aggregation."""
+
+import pytest
+
+from repro.qsim import QuantumCircuit, telemetry
+from repro.qsim.service import BatchPayload, JobStore, ServiceError, worker_loop
+from repro.qsim.service.worker import TELEMETRY_ARTIFACT_VERSION
+
+
+@pytest.fixture(autouse=True)
+def clean_telemetry():
+    telemetry.enable()
+    telemetry.clear_spans()
+    telemetry.reset_metrics()
+    yield
+    telemetry.enable()
+    telemetry.clear_spans()
+    telemetry.reset_metrics()
+
+
+def bell_payload(shots=32):
+    qc = QuantumCircuit(2, 2, name="bell")
+    qc.h(0).cx(0, 1)
+    qc.measure([0, 1], [0, 1])
+    return BatchPayload.from_circuits([qc], shots=shots, seed=11)
+
+
+@pytest.fixture
+def store(tmp_path):
+    with JobStore(tmp_path / "service.db") as job_store:
+        yield job_store
+
+
+def run_one(store, payload=None):
+    job_id = store.submit((payload or bell_payload()).to_json())
+    worker_loop(store.path, burst=True)
+    return job_id
+
+
+class TestArtifactCapture:
+    def test_done_job_carries_versioned_artifact(self, store):
+        record = store.get(run_one(store))
+        assert record.state == "DONE"
+        artifact = record.telemetry_dict()
+        assert artifact["version"] == TELEMETRY_ARTIFACT_VERSION
+        assert set(artifact) == {"version", "duration_s", "trace", "metrics"}
+
+    def test_trace_covers_the_whole_job_lifecycle(self, store):
+        artifact = store.get(run_one(store)).telemetry_dict()
+        tree = artifact["trace"]
+        assert tree["name"] == "job"
+        stages = [child["name"] for child in tree["children"]]
+        assert stages[0] == "claim"
+        assert "payload.parse" in stages
+        assert "cache.compile_batch" in stages
+        assert "backend.run" in stages
+        assert stages[-1] == "finalize"
+        run = next(c for c in tree["children"] if c["name"] == "backend.run")
+        assert [g["name"] for g in run["children"]] == ["engine.statevector.run"]
+
+    def test_duration_is_claim_plus_root_wall(self, store):
+        artifact = store.get(run_one(store)).telemetry_dict()
+        claim = next(
+            c for c in artifact["trace"]["children"] if c["name"] == "claim"
+        )
+        assert artifact["duration_s"] == pytest.approx(
+            claim["wall_s"] + artifact["trace"]["wall_s"]
+        )
+        # every child is accounted for inside the total
+        assert all(
+            child["wall_s"] <= artifact["duration_s"] + 1e-9
+            for child in artifact["trace"]["children"]
+        )
+
+    def test_metrics_delta_is_per_job_not_process_wide(self, store):
+        first = store.get(run_one(store)).telemetry_dict()
+        second = store.get(run_one(store)).telemetry_dict()
+        # each job only ships its own contribution, so both deltas match
+        assert first["metrics"]["counters"]["engine.statevector.shots"] == 32
+        assert second["metrics"]["counters"]["engine.statevector.shots"] == 32
+
+    def test_worker_leaves_no_span_residue(self, store):
+        run_one(store)
+        assert telemetry.drain_spans() == []
+
+    def test_disabled_telemetry_yields_no_artifact_but_job_succeeds(self, store):
+        telemetry.disable()
+        record = store.get(run_one(store))
+        assert record.state == "DONE"
+        assert record.telemetry is None
+        with pytest.raises(ServiceError, match="no telemetry artifact"):
+            record.telemetry_dict()
+
+    def test_artifact_survives_store_reopen(self, store, tmp_path):
+        job_id = run_one(store)
+        with JobStore(store.path) as reopened:
+            artifact = reopened.get(job_id).telemetry_dict()
+        assert artifact["trace"]["name"] == "job"
+
+
+class TestAggregation:
+    def test_aggregate_merges_done_jobs(self, store):
+        run_one(store)
+        run_one(store)
+        merged = store.aggregate_telemetry_metrics()
+        assert merged["counters"]["engine.statevector.shots"] == 64
+        assert merged["counters"]["engine.statevector.experiments"] == 2
+        assert merged["histograms"]["engine.run.seconds"]["count"] == 2
+
+    def test_aggregate_empty_store(self, store):
+        assert store.aggregate_telemetry_metrics() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+
+    def test_aggregate_skips_jobs_without_artifacts(self, store):
+        run_one(store)
+        telemetry.disable()
+        run_one(store)
+        telemetry.enable()
+        merged = store.aggregate_telemetry_metrics()
+        assert merged["counters"]["engine.statevector.experiments"] == 1
+
+    def test_stats_job_cache_hit_rate(self, store):
+        run_one(store)  # cold: compile miss
+        run_one(store)  # warm: memory hit
+        job_cache = store.stats()["job_cache"]
+        assert job_cache == {
+            "hits": 1,
+            "misses": 1,
+            "corrupt": 0,
+            "jobs": 2,
+            "hit_rate": 0.5,
+        }
+
+
+class TestPurge:
+    def test_purge_deletes_done_and_cancelled(self, store):
+        done = run_one(store)
+        cancelled = store.submit(bell_payload().to_json())
+        store.cancel(cancelled)
+        queued = store.submit(bell_payload().to_json())
+        assert store.purge(older_than=0) == 2
+        remaining = {record.job_id for record in store.list_jobs()}
+        assert remaining == {queued}
+        assert done not in remaining
+
+    def test_purge_keeps_young_jobs(self, store):
+        run_one(store)
+        assert store.purge(older_than=3600) == 0
+        assert len(store.list_jobs()) == 1
+
+    def test_purge_rejects_negative_ttl(self, store):
+        with pytest.raises(ServiceError, match=">= 0"):
+            store.purge(older_than=-1)

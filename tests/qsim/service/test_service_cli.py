@@ -1,0 +1,188 @@
+"""Service CLI coverage: error paths, observability verbs, purge.
+
+Every verb goes through :func:`repro.cli.main` exactly as a shell user
+would invoke it, so these tests pin exit codes and the ``error:`` stderr
+contract alongside the happy paths for ``trace``/``metrics``/``purge``.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.qsim import QuantumCircuit, telemetry, to_qasm
+from repro.qsim.service import JobStore, worker_loop
+
+
+@pytest.fixture(autouse=True)
+def clean_telemetry():
+    telemetry.enable()
+    telemetry.clear_spans()
+    telemetry.reset_metrics()
+    yield
+    telemetry.enable()
+    telemetry.clear_spans()
+    telemetry.reset_metrics()
+
+
+@pytest.fixture
+def db(tmp_path):
+    return str(tmp_path / "service.db")
+
+
+@pytest.fixture
+def qasm_file(tmp_path):
+    qc = QuantumCircuit(2, 2, name="bell")
+    qc.h(0).cx(0, 1)
+    qc.measure([0, 1], [0, 1])
+    path = tmp_path / "bell.qasm"
+    path.write_text(to_qasm(qc))
+    return str(path)
+
+
+def submit(db, qasm_file, capsys, *extra):
+    assert main(["submit", qasm_file, "--db", db, "--shots", "16", *extra]) == 0
+    return capsys.readouterr().out.strip()
+
+
+def submit_done(db, qasm_file, capsys):
+    job_id = submit(db, qasm_file, capsys)
+    worker_loop(db, burst=True)
+    return job_id
+
+
+def submit_failed(db, qasm_file, capsys):
+    job_id = submit(db, qasm_file, capsys, "--backend", "nosuch", "--max-attempts", "1")
+    worker_loop(db, burst=True)
+    return job_id
+
+
+class TestErrorPaths:
+    @pytest.mark.parametrize("verb", ["status", "result", "cancel", "trace"])
+    def test_unknown_job_id_fails_clearly(self, verb, db, capsys):
+        assert main([verb, "job-nope", "--db", db]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "no such job" in err
+
+    def test_result_on_failed_job(self, db, qasm_file, capsys):
+        job_id = submit_failed(db, qasm_file, capsys)
+        assert main(["result", job_id, "--db", db]) == 1
+        err = capsys.readouterr().err
+        assert "error: job ended FAILED" in err
+        assert "nosuch" in err  # last line of the stored traceback names the cause
+
+    def test_result_on_unfinished_job(self, db, qasm_file, capsys):
+        job_id = submit(db, qasm_file, capsys)
+        assert main(["result", job_id, "--db", db]) == 1
+        assert "not finished (state QUEUED)" in capsys.readouterr().err
+
+    def test_cancel_on_done_job(self, db, qasm_file, capsys):
+        job_id = submit_done(db, qasm_file, capsys)
+        assert main(["cancel", job_id, "--db", db]) == 1
+        assert "already terminal (DONE)" in capsys.readouterr().err
+
+    def test_trace_on_queued_job_has_no_artifact(self, db, qasm_file, capsys):
+        job_id = submit(db, qasm_file, capsys)
+        assert main(["trace", job_id, "--db", db]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "no telemetry artifact" in err
+
+    def test_submit_missing_file(self, db, capsys):
+        assert main(["submit", "/nonexistent.qasm", "--db", db]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_purge_negative_ttl(self, db, capsys):
+        assert main(["purge", "--db", db, "--older-than", "-5"]) == 1
+        assert "must be >= 0" in capsys.readouterr().err
+
+
+class TestTraceVerb:
+    def test_trace_prints_span_tree_for_done_job(self, db, qasm_file, capsys):
+        job_id = submit_done(db, qasm_file, capsys)
+        assert main(["trace", job_id, "--db", db]) == 0
+        out = capsys.readouterr().out
+        assert f"job {job_id} state=DONE" in out
+        for stage in ("claim", "cache.lookup", "engine.statevector.run", "finalize"):
+            assert stage in out
+        assert "%" in out
+
+    def test_trace_attribution_sums_to_recorded_duration(self, db, qasm_file, capsys):
+        job_id = submit_done(db, qasm_file, capsys)
+        with JobStore(db) as store:
+            artifact = store.get(job_id).telemetry_dict()
+        claim = next(
+            child
+            for child in artifact["trace"]["children"]
+            if child["name"] == "claim"
+        )
+        assert artifact["duration_s"] == pytest.approx(
+            claim["wall_s"] + artifact["trace"]["wall_s"]
+        )
+
+
+class TestMetricsVerb:
+    def test_metrics_prometheus_default(self, db, qasm_file, capsys):
+        submit_done(db, qasm_file, capsys)
+        assert main(["metrics", "--db", db]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE qsim_engine_statevector_shots counter" in out
+        assert "qsim_engine_statevector_shots 16" in out
+
+    def test_metrics_json(self, db, qasm_file, capsys):
+        submit_done(db, qasm_file, capsys)
+        submit_done(db, qasm_file, capsys)
+        assert main(["metrics", "--db", db, "--format", "json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["counters"]["engine.statevector.shots"] == 32  # two DONE jobs
+        assert data["histograms"]["engine.run.seconds"]["count"] == 2
+
+    def test_metrics_on_empty_store(self, db, capsys):
+        assert main(["metrics", "--db", db, "--format", "json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+class TestQueueStats:
+    def test_reports_job_cache_hit_rate(self, db, qasm_file, capsys):
+        submit_done(db, qasm_file, capsys)  # cold compile: miss
+        submit_done(db, qasm_file, capsys)  # warm: memory hit
+        assert main(["queue-stats", "--db", db]) == 0
+        out = capsys.readouterr().out
+        assert "job-cache-hits 1" in out
+        assert "job-cache-misses 1" in out
+        assert "job-cache-hit-rate 0.500" in out
+
+    def test_hit_rate_na_when_no_done_jobs(self, db, capsys):
+        assert main(["queue-stats", "--db", db]) == 0
+        assert "job-cache-hit-rate n/a" in capsys.readouterr().out
+
+
+class TestPurgeVerb:
+    def test_purge_removes_terminal_jobs_only(self, db, qasm_file, capsys):
+        done = submit_done(db, qasm_file, capsys)
+        failed = submit_failed(db, qasm_file, capsys)
+        queued = submit(db, qasm_file, capsys)
+        assert main(["purge", "--db", db]) == 0
+        assert "purged 1 job(s)" in capsys.readouterr().out
+        with JobStore(db) as store:
+            remaining = {record.job_id for record in store.list_jobs()}
+        assert done not in remaining
+        assert {failed, queued} <= remaining  # FAILED kept for post-mortem
+
+    def test_purge_respects_ttl(self, db, qasm_file, capsys):
+        submit_done(db, qasm_file, capsys)
+        assert main(["purge", "--db", db, "--older-than", "3600"]) == 0
+        assert "purged 0 job(s)" in capsys.readouterr().out
+
+
+class TestWorkerVerbosityFlags:
+    def test_worker_verbose_flag_parses_and_drains(self, db, qasm_file, capsys):
+        submit(db, qasm_file, capsys)
+        assert main(["worker", "--db", db, "--burst", "-v"]) == 0
+        assert "worker processed 1 job(s)" in capsys.readouterr().out
+
+    def test_worker_quiet_flag_parses(self, db, capsys):
+        assert main(["worker", "--db", db, "--burst", "-qq"]) == 0
+        capsys.readouterr()
