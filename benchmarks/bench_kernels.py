@@ -18,6 +18,22 @@ Every strategy's final statevector is checked against the generic path to
 a >= 2x wall-clock speedup of ``kernels`` over ``generic`` at 16 qubits /
 1000 gates (the default configuration).
 
+Two further axes ride along:
+
+* **noisy shots** -- the same random circuit family with ``measure_all`` and
+  a depolarizing channel, executed three ways: the legacy per-shot loop
+  (:class:`~repro.qsim.simulator.StatevectorSimulator`, one trajectory per
+  Python-loop iteration), the backend's ``per_shot`` trajectory mode, and
+  the batched ``(shots, 2^n)`` tensor executor
+  (:mod:`repro.qsim.shotbatch`).  ``batched`` and ``per_shot`` counts are
+  asserted *bitwise equal* at the shared seed; the acceptance target is a
+  >= 3x speedup of ``batched`` over the legacy loop at 12 qubits /
+  2000 shots / depolarizing p=0.01 (the default noisy configuration).
+* **dense diagonals** -- regression guard for the vectorised dense branch of
+  :func:`repro.qsim.kernels.apply_diagonal`: one broadcast multiply must not
+  be slower than the historic per-entry slice loop it replaced, and must
+  produce bitwise-identical amplitudes.
+
 Run directly::
 
     PYTHONPATH=src python benchmarks/bench_kernels.py
@@ -32,10 +48,12 @@ from typing import List
 
 import numpy as np
 
-from repro.qsim import QuantumCircuit, Statevector
+from repro.qsim import DepolarizingNoise, QuantumCircuit, Statevector
 from repro.qsim import kernels
+from repro.qsim.backends import StatevectorBackend
 from repro.qsim.fusion import fuse_gates, fusion_summary
 from repro.qsim.instruction import Gate
+from repro.qsim.simulator import StatevectorSimulator
 
 from benchutil import add_out_argument, write_results
 
@@ -87,6 +105,68 @@ def run_fused(circuit: QuantumCircuit, max_fused_qubits: int) -> Statevector:
     return run_kernels(fuse_gates(circuit, max_fused_qubits))
 
 
+# ---------------------------------------------------------------------------
+# Noisy-shot axis: legacy loop vs per_shot mode vs batched tensor executor
+# ---------------------------------------------------------------------------
+
+
+def noisy_random_circuit(num_qubits: int, num_gates: int, seed: int) -> QuantumCircuit:
+    """The :func:`random_circuit` family plus a full final measurement."""
+    rng = np.random.default_rng(seed)
+    qc = QuantumCircuit(num_qubits, num_qubits)
+    for _ in range(num_gates):
+        name, arity, num_params = GATE_POOL[rng.integers(len(GATE_POOL))]
+        params = list(rng.uniform(0, 2 * np.pi, num_params))
+        targets = [int(q) for q in rng.choice(num_qubits, arity, replace=False)]
+        qc.append(Gate(name, arity, params), targets)
+    # measure qubit q into clbit q (measure_all would add a second register,
+    # doubling the bitstring width and hiding the qubit<->bit correspondence
+    # marginal_ones relies on)
+    qc.measure(list(range(num_qubits)), list(range(num_qubits)))
+    return qc
+
+
+def run_noisy_loop(circuit, noise, shots: int, seed: int):
+    """The legacy per-shot trajectory loop (one full circuit pass per shot)."""
+    sim = StatevectorSimulator(seed=seed, noise_model=noise)
+    return sim.run(circuit, shots=shots).counts
+
+
+def run_noisy_mode(circuit, noise, shots: int, seed: int, mode: str):
+    """One of the backend's trajectory modes (``per_shot`` or ``batched``)."""
+    backend = StatevectorBackend(noise_model=noise, fusion=False, shot_batching=mode)
+    return backend.run(circuit, shots=shots, seed=seed).result().get_counts()
+
+
+def marginal_ones(counts, num_qubits: int, shots: int) -> List[float]:
+    """Per-qubit frequency of measuring 1 (keys are MSB-first bitstrings)."""
+    freq = [0] * num_qubits
+    for key, count in counts.items():
+        for q in range(num_qubits):
+            if key[-1 - q] == "1":
+                freq[q] += count
+    return [f / shots for f in freq]
+
+
+# ---------------------------------------------------------------------------
+# Dense-diagonal regression: vectorised broadcast vs historic per-entry loop
+# ---------------------------------------------------------------------------
+
+
+def diag_per_entry_reference(data, num_qubits: int, diag, targets) -> None:
+    """The pre-vectorisation dense-diagonal code path: one strided slice
+    multiply per non-unit entry (kept here as the regression baseline)."""
+    view, axes = kernels._qubit_view(data, num_qubits, targets)
+    ndim = view.ndim
+    k = len(targets)
+    for value in np.flatnonzero(diag != 1):
+        value = int(value)
+        index = [slice(None)] * ndim
+        for position, target in enumerate(targets):
+            index[axes[target]] = (value >> (k - 1 - position)) & 1
+        view[tuple(index)] *= diag[value]
+
+
 def _time_interleaved(funcs, repeats: int) -> List[float]:
     """Best-of-*repeats* wall time per function, measured round-robin.
 
@@ -110,8 +190,17 @@ def main(argv: List[str] | None = None) -> int:
     parser.add_argument("--seed", type=int, default=2025)
     parser.add_argument("--max-fused-qubits", type=int, default=4,
                         help="fusion budget (default matches StatevectorSimulator)")
+    parser.add_argument("--noisy-qubits", type=int, default=12,
+                        help="qubits for the noisy-shot axis (acceptance config: 12)")
+    parser.add_argument("--noisy-gates", type=int, default=60,
+                        help="gates for the noisy-shot axis")
+    parser.add_argument("--noisy-shots", type=int, default=2000,
+                        help="trajectories for the noisy-shot axis (0 skips the axis)")
+    parser.add_argument("--noise-p", type=float, default=0.01,
+                        help="depolarizing probability for the noisy-shot axis")
     add_out_argument(parser)
     args = parser.parse_args(argv)
+    failures: List[str] = []
 
     circuit = random_circuit(args.qubits, args.gates, args.seed)
     summary = fusion_summary(circuit, args.max_fused_qubits)
@@ -143,11 +232,105 @@ def main(argv: List[str] | None = None) -> int:
     for label, elapsed in (("generic", t_generic), ("kernels", t_kernels), ("fused", t_fused)):
         print(f"{label:<10} {elapsed * 1000.0:>10.2f} {t_generic / elapsed:>8.2f}x")
 
+    # acceptance target: the engine's fast path (kernels + fusion, what
+    # StatevectorSimulator runs by default) must beat the generic path >= 2x
+    if t_generic / t_fused < 2.0 and args.qubits >= 16 and args.gates >= 1000:
+        failures.append("fast-path speedup below the 2x acceptance target")
+    print("equivalence: all paths match the generic statevector to 1e-10")
+
+    # -- noisy-shot axis ----------------------------------------------------
+    noisy_results = []
+    if args.noisy_shots > 0:
+        nq, shots = args.noisy_qubits, args.noisy_shots
+        noisy = noisy_random_circuit(nq, args.noisy_gates, args.seed)
+        noise = DepolarizingNoise(args.noise_p)
+
+        counts_batched = run_noisy_mode(noisy, noise, shots, args.seed, "batched")
+        counts_per_shot = run_noisy_mode(noisy, noise, shots, args.seed, "per_shot")
+        bit_equal = counts_batched == counts_per_shot
+        if not bit_equal:
+            failures.append("batched and per_shot counts differ at the shared seed")
+        counts_loop = run_noisy_loop(noisy, noise, shots, args.seed)
+        drift = max(
+            abs(a - b)
+            for a, b in zip(
+                marginal_ones(counts_batched, nq, shots),
+                marginal_ones(counts_loop, nq, shots),
+            )
+        )
+        # the two samplers draw independent trajectories, so their marginals
+        # only agree statistically: allow ~4.5 sigma of binomial noise
+        drift_tolerance = max(0.05, 4.5 * (0.5 / shots) ** 0.5)
+        if drift > drift_tolerance:
+            failures.append(
+                f"batched marginals drift {drift:.3f} from the legacy loop "
+                f"(tolerance {drift_tolerance:.3f})"
+            )
+
+        t_loop, t_mode, t_batched = _time_interleaved(
+            [
+                lambda: run_noisy_loop(noisy, noise, shots, args.seed),
+                lambda: run_noisy_mode(noisy, noise, shots, args.seed, "per_shot"),
+                lambda: run_noisy_mode(noisy, noise, shots, args.seed, "batched"),
+            ],
+            args.repeats,
+        )
+        print(f"\nnoisy shots: {nq} qubits, {args.noisy_gates} gates, "
+              f"{shots} shots, depolarizing p={args.noise_p}")
+        print(f"{'strategy':<16} {'time (s)':>10} {'vs loop':>9}")
+        for label, elapsed in (
+            ("loop (legacy)", t_loop),
+            ("per_shot mode", t_mode),
+            ("batched", t_batched),
+        ):
+            print(f"{label:<16} {elapsed:>10.2f} {t_loop / elapsed:>8.2f}x")
+        print(f"counts: batched == per_shot (bitwise): {bit_equal}; "
+              f"max marginal drift vs loop: {drift:.4f}")
+        noisy_results = [
+            {"strategy": label, "time_s": elapsed, "speedup_vs_loop": t_loop / elapsed}
+            for label, elapsed in
+            (("loop", t_loop), ("per_shot", t_mode), ("batched", t_batched))
+        ]
+        # acceptance target: batched trajectories must beat the legacy
+        # per-shot loop >= 3x at the 12-qubit / 2000-shot / p=0.01 config
+        if t_loop / t_batched < 3.0 and nq >= 12 and shots >= 2000:
+            failures.append("batched speedup below the 3x acceptance target")
+
+    # -- dense-diagonal regression ------------------------------------------
+    diag_qubits = min(args.qubits, 16)
+    diag_targets = tuple(range(1, 1 + min(5, diag_qubits - 1)))
+    rng = np.random.default_rng(args.seed)
+    diag = np.exp(1j * rng.uniform(0.1, 2 * np.pi, 1 << len(diag_targets)))
+    base = rng.standard_normal(1 << diag_qubits) * (1 + 0j)
+    base /= np.linalg.norm(base)
+    vectorised, reference = base.copy(), base.copy()
+    kernels.apply_diagonal(vectorised, diag_qubits, diag, diag_targets)
+    diag_per_entry_reference(reference, diag_qubits, diag, diag_targets)
+    if not np.array_equal(vectorised, reference):
+        failures.append("vectorised dense diagonal is not bitwise equal to the loop")
+    t_vec, t_ref = _time_interleaved(
+        [
+            lambda: kernels.apply_diagonal(base.copy(), diag_qubits, diag, diag_targets),
+            lambda: diag_per_entry_reference(base.copy(), diag_qubits, diag, diag_targets),
+        ],
+        max(args.repeats, 3) * 5,
+    )
+    print(f"\ndense diagonal ({diag_qubits} qubits, {len(diag_targets)} targets, "
+          f"all {diag.size} entries non-unit): "
+          f"vectorised {t_vec * 1e3:.2f} ms, per-entry loop {t_ref * 1e3:.2f} ms "
+          f"({t_ref / t_vec:.2f}x)")
+    # regression guard for the vectorised dense branch: it must never lose
+    # to the per-entry loop it replaced
+    if t_vec > t_ref:
+        failures.append("vectorised dense diagonal slower than the per-entry loop")
+
     write_results(
         args.out,
         "kernels",
         {"qubits": args.qubits, "gates": args.gates, "repeats": args.repeats,
-         "seed": args.seed, "max_fused_qubits": args.max_fused_qubits},
+         "seed": args.seed, "max_fused_qubits": args.max_fused_qubits,
+         "noisy_qubits": args.noisy_qubits, "noisy_gates": args.noisy_gates,
+         "noisy_shots": args.noisy_shots, "noise_p": args.noise_p},
         [
             {"strategy": label, "time_ms": elapsed * 1000.0,
              "speedup": t_generic / elapsed}
@@ -155,15 +338,15 @@ def main(argv: List[str] | None = None) -> int:
             (("generic", t_generic), ("kernels", t_kernels), ("fused", t_fused))
         ],
         fusion=summary,
+        noisy_shots=noisy_results,
+        dense_diagonal={"time_vectorised_ms": t_vec * 1e3,
+                        "time_per_entry_ms": t_ref * 1e3,
+                        "speedup": t_ref / t_vec},
     )
 
-    # acceptance target: the engine's fast path (kernels + fusion, what
-    # StatevectorSimulator runs by default) must beat the generic path >= 2x
-    if t_generic / t_fused < 2.0 and args.qubits >= 16 and args.gates >= 1000:
-        print("WARNING: fast-path speedup below the 2x acceptance target")
-        return 1
-    print("equivalence: all paths match the generic statevector to 1e-10")
-    return 0
+    for failure in failures:
+        print(f"WARNING: {failure}")
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

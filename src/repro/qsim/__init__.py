@@ -8,7 +8,10 @@ implementation with a self-contained, NumPy-based stack:
 * :mod:`repro.qsim.instruction` -- the instruction set of the circuit IR,
 * :mod:`repro.qsim.circuit` -- the :class:`~repro.qsim.circuit.QuantumCircuit` IR,
 * :mod:`repro.qsim.statevector` -- dense statevector representation,
+* :mod:`repro.qsim.ops` -- the pluggable array-ops backplane every kernel
+  computes through (numpy by default, accelerated modules by registration),
 * :mod:`repro.qsim.kernels` -- specialized in-place gate kernels + dispatch,
+* :mod:`repro.qsim.shotbatch` -- batched noisy-shot trajectory execution,
 * :mod:`repro.qsim.fusion` -- gate fusion (adjacent gates -> one unitary),
 * :mod:`repro.qsim.simulator` -- the statevector execution engine,
 * :mod:`repro.qsim.stabilizer` -- the CHP stabilizer (Clifford) engine,
@@ -26,6 +29,14 @@ The public names most users need are re-exported here.
 
 from . import telemetry
 from .exceptions import BackendError, QasmError, QsimError, RegisterError, SimulationError
+from .ops import (
+    ArrayOps,
+    NumpyOps,
+    available_ops,
+    get_ops,
+    register_ops,
+    set_default_ops,
+)
 from .registers import ClassicalRegister, Clbit, QuantumRegister, Qubit
 from .instruction import (
     Barrier,
@@ -66,6 +77,12 @@ from .backends import (
 
 __all__ = [
     "telemetry",
+    "ArrayOps",
+    "NumpyOps",
+    "available_ops",
+    "get_ops",
+    "register_ops",
+    "set_default_ops",
     "QsimError",
     "RegisterError",
     "SimulationError",

@@ -91,14 +91,21 @@ class Backend(abc.ABC):
     def run(
         self,
         circuits: Union[QuantumCircuit, Sequence[QuantumCircuit]],
+        *args: Any,
         shots: int = 1024,
         seed: Union[int, Sequence[int], None] = None,
         memory: bool = False,
         workers: Optional[int] = None,
         executor: str = "process",
+        shot_workers: Optional[int] = None,
         **options: Any,
     ) -> Job:
         """Submit one circuit or a batch and return a :class:`Job`.
+
+        Only the circuit batch may be passed positionally; every run option
+        is keyword-only, identically across all engines and the service
+        payload path, so a call like ``run(qc, 2000)`` cannot silently bind
+        ``2000`` to the wrong option between backends.
 
         Args:
             circuits: a single :class:`QuantumCircuit` or a sequence of them.
@@ -111,10 +118,20 @@ class Backend(abc.ABC):
                 experiments onto a worker pool.
             executor: ``"process"`` (default; real multi-core parallelism via
                 fork) or ``"thread"`` for a thread pool.
-            **options: engine-specific run options, forwarded to
-                :meth:`_run_experiment` (e.g. ``shot_workers`` on the
-                statevector backend).
+            shot_workers: parallelism *within* one experiment's per-shot
+                collapse path (statevector backend only); forwarded to the
+                engine, which rejects it if unsupported.
+            **options: further engine-specific run options, forwarded to
+                :meth:`_run_experiment`.
         """
+        if args:
+            raise TypeError(
+                "Backend.run() accepts only the circuit batch positionally; "
+                "pass run options as keywords, e.g. "
+                "run(circuit, shots=2000, seed=7)"
+            )
+        if shot_workers is not None:
+            options["shot_workers"] = shot_workers
         batch = self._normalize_circuits(circuits)
         if shots <= 0:
             raise BackendError("shots must be positive")

@@ -32,7 +32,7 @@ from ..simulator import (
     measurements_are_final,
 )
 from ..stabilizer import StabilizerSimulator
-from .. import telemetry
+from .. import shotbatch, telemetry
 from .backend import Backend
 from .result import ExperimentResult
 
@@ -112,9 +112,23 @@ class StatevectorBackend(Backend):
     (mid-circuit measurement or noise models) over deterministic shot
     chunks; without an explicit experiment seed, one is derived from the
     backend's RNG so the chunked path stays reproducible.
+
+    ``shot_batching`` controls how Pauli-noise trajectories execute (see
+    :mod:`repro.qsim.shotbatch`): ``"auto"`` (default) evolves all shots of
+    an eligible circuit as one ``(shots, 2^n)`` tensor, ``"batched"``
+    requires it (raising :class:`BackendError` with the reason when the
+    circuit is ineligible), and ``"per_shot"`` runs the same executor one
+    trajectory at a time -- bit-identical counts to ``"batched"`` at the
+    same seed, which is also the contract the property tests pin down.
+    Circuits the batched executor cannot take (mid-circuit measurement,
+    reset/initialize, non-Pauli noise) fall back to the legacy per-shot
+    loop under ``"auto"``/``"per_shot"``.
     """
 
     name = "statevector"
+
+    #: accepted ``shot_batching`` modes
+    SHOT_BATCHING_MODES = ("auto", "batched", "per_shot")
 
     def __init__(
         self,
@@ -123,8 +137,15 @@ class StatevectorBackend(Backend):
         fusion: bool = True,
         max_fused_qubits: int = SIMULATOR_MAX_FUSED_QUBITS,
         simulator: Optional[StatevectorSimulator] = None,
+        shot_batching: str = "auto",
     ):
         super().__init__(seed)
+        if shot_batching not in self.SHOT_BATCHING_MODES:
+            raise BackendError(
+                f"unknown shot_batching mode {shot_batching!r} "
+                f"(choose from {self.SHOT_BATCHING_MODES})"
+            )
+        self.shot_batching = shot_batching
         if simulator is not None:
             self._engine = simulator
         else:
@@ -156,7 +177,8 @@ class StatevectorBackend(Backend):
         if options:
             raise BackendError(f"unknown run options {sorted(options)} for {self.name!r}")
         started = time.perf_counter()
-        per_shot = self._engine.noise_model is not None or not measurements_are_final(circuit)
+        noise_model = self._engine.noise_model
+        per_shot = noise_model is not None or not measurements_are_final(circuit)
         if per_shot and shot_workers is not None and shot_workers > 1 and seed is None:
             # chunked shot execution needs a concrete seed; derive one from
             # the backend RNG (reproducible given the backend's own seed)
@@ -170,6 +192,40 @@ class StatevectorBackend(Backend):
                 metadata = {"method": "per_shot_chunked", "chunks": min(shots, PER_SHOT_CHUNKS)}
                 sp.tag(method=metadata["method"])
                 return _wrap(circuit, engine_result, shots, seed, started, metadata)
+            if per_shot and noise_model is not None and shot_workers is None:
+                reason = shotbatch.ineligible_reason(circuit, noise_model)
+                if self.shot_batching == "batched" and reason is not None:
+                    raise BackendError(
+                        f"shot_batching='batched' requested but {reason}"
+                    )
+                if reason is None:
+                    if seed is None:
+                        # the trajectory executor pre-draws its random tables
+                        # from one concrete seed; derive it from the backend
+                        # RNG (reproducible given the backend's own seed)
+                        seed = int(self._rng.integers(0, 2**63))
+                    if self.shot_batching == "per_shot":
+                        batch_size = 1
+                        method = "per_shot_trajectory"
+                    else:
+                        batch_size = shotbatch.default_batch_size(
+                            circuit.num_qubits, shots
+                        )
+                        method = "batched_shots"
+                    engine_result = shotbatch.run_batched(
+                        circuit,
+                        noise_model,
+                        shots,
+                        seed,
+                        memory=memory,
+                        batch_size=batch_size,
+                    )
+                    if telemetry.enabled():
+                        telemetry.counter(f"engine.{self.name}.{method}").inc(shots)
+                    metadata = {"method": method, "batch_size": batch_size}
+                    sp.tag(method=method, batch_size=batch_size)
+                    return _wrap(circuit, engine_result, shots, seed, started, metadata)
+                sp.tag(batching_fallback=reason)
             engine = self._engine if seed is None else self._fresh_engine(seed)
             engine_result = engine.run(circuit, shots=shots, memory=memory)
             metadata = {"method": "per_shot" if per_shot else "sampled"}

@@ -20,6 +20,7 @@ from . import gates
 from .circuit import CircuitInstruction, QuantumCircuit
 from .exceptions import SimulationError
 from .instruction import Barrier, Initialize, Measure, Reset
+from .ops import get_ops
 from .simulator import Result, format_bits, measurements_are_final
 from .statevector import Statevector
 
@@ -203,15 +204,17 @@ class DensityMatrix:
 
     def apply_unitary(self, matrix: np.ndarray, targets: Sequence[int]) -> None:
         """Apply a unitary to *targets*: ``rho <- U rho U^dagger``."""
+        ops = get_ops()
         full = self._expand_operator(np.asarray(matrix, dtype=complex), targets)
-        self.data = full @ self.data @ full.conj().T
+        self.data = ops.matmul(ops.matmul(full, self.data), full.conj().T)
 
     def apply_kraus(self, kraus_operators: Iterable[np.ndarray], targets: Sequence[int]) -> None:
         """Apply a quantum channel given by its Kraus operators to *targets*."""
+        ops = get_ops()
         result = np.zeros_like(self.data)
         for kraus in kraus_operators:
             full = self._expand_operator(np.asarray(kraus, dtype=complex), targets)
-            result += full @ self.data @ full.conj().T
+            result += ops.matmul(ops.matmul(full, self.data), full.conj().T)
         self.data = result
 
     # -- measurement ----------------------------------------------------------------
@@ -344,21 +347,6 @@ class DensityMatrixSimulator:
             return self._run_per_shot(circuit, shots, memory)
         finally:
             self._rng = previous_rng
-
-    def run_counts(
-        self, circuit: QuantumCircuit, shots: int = 1024, seed: Optional[int] = None
-    ) -> Dict[int, int]:
-        """Measurement histogram keyed by integer outcome.
-
-        .. deprecated::
-            Thin shim over :meth:`run`; use ``run(...).counts`` (bitstring
-            keys, consistent with the statevector engine) or the unified
-            backend API (:mod:`repro.qsim.backends`) instead.  Keys follow
-            the classical-register convention of :meth:`Result.int_counts`.
-        """
-        if not any(isinstance(instr.operation, Measure) for instr in circuit.data):
-            raise SimulationError("circuit has no measurements")
-        return self.run(circuit, shots=shots, seed=seed).int_counts()
 
     # -- internals ---------------------------------------------------------------
 

@@ -9,7 +9,8 @@ gate costs at most one vectorised pass over the statevector and no transpose:
   arithmetic on a 3-axis view ``(high, 2, low)`` of the flat state,
 * :func:`apply_diagonal` -- diagonal gates (``z``, ``s``, ``t``, ``rz``,
   ``cz``, ``cp``, multi-controlled phases, ...) as pure phase multiplies on
-  basis-aligned slices, skipping unit phases entirely,
+  basis-aligned slices, skipping unit phases entirely (dense diagonals go
+  through a single broadcast multiply instead of a per-entry loop),
 * :func:`apply_controlled` -- controlled-1q gates (``cx``, ``ch``, ``crx``,
   ``ccx``, ``mcx`` ...) touching only the control-satisfied ``1/2^c`` fraction
   of the amplitudes,
@@ -23,20 +24,28 @@ kernel, returning ``False`` when only the generic path can handle it.  The
 statevector simulator, the language's circuit handler and the benchmarks all
 dispatch through here.
 
-All kernels mutate the underlying NumPy buffer in place and assume the caller
+Every kernel takes an optional ``ops`` argument -- an
+:class:`~repro.qsim.ops.ArrayOps` backend from the pluggable array-ops
+backplane -- and performs *all* array arithmetic through it; ``ops=None``
+resolves the active backend via :func:`repro.qsim.ops.get_ops` (numpy by
+default).  On :class:`~repro.qsim.ops.NumpyOps` the arithmetic is
+bit-identical to the pre-backplane kernels (property-tested in
+``tests/qsim/test_ops.py``).
+
+All kernels mutate the underlying buffer in place and assume the caller
 (:class:`~repro.qsim.statevector.Statevector`) has validated qubit indices
 and operator shapes.
 """
 
 from __future__ import annotations
 
-import threading
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Optional, Sequence
 
 import numpy as np
 
 from . import gates
 from .instruction import ControlledGate, Gate, Instruction, UnitaryGate
+from .ops import ArrayOps, get_ops
 
 __all__ = [
     "apply_single_qubit",
@@ -46,6 +55,7 @@ __all__ = [
     "apply_swap",
     "apply_named_gate",
     "apply_instruction",
+    "dense_apply",
 ]
 
 #: diagonal detection is only attempted for operators up to this many qubits
@@ -55,7 +65,7 @@ __all__ = [
 _MAX_DIAG_CHECK_QUBITS = 6
 
 
-def _qubit_view(data: np.ndarray, num_qubits: int, qubits: Sequence[int]):
+def _qubit_view(data, num_qubits: int, qubits: Sequence[int]):
     """Reshape *data* so every qubit in *qubits* owns a length-2 axis.
 
     Returns ``(view, axes)`` where ``axes[q]`` is the axis of qubit ``q`` in
@@ -77,7 +87,7 @@ def _qubit_view(data: np.ndarray, num_qubits: int, qubits: Sequence[int]):
     return view, axes
 
 
-def _is_x_matrix(matrix: np.ndarray) -> bool:
+def _is_x_matrix(matrix) -> bool:
     return (
         matrix[0, 0] == 0
         and matrix[1, 1] == 0
@@ -91,56 +101,38 @@ _MIN_STRIDE = 16
 #: with at most this many leading blocks a per-block matmul is cheapest
 _MAX_GEMM_BLOCKS = 32
 
-#: per-thread reusable flat scratch pool, grown on demand and viewed per
-#: shape: avoids re-allocating half-state temporaries on every gate, stays
-#: safe when independent simulators run on different threads (NumPy releases
-#: the GIL mid-kernel), and retains at most ~1.5x the largest state the
-#: thread has simulated
-_SCRATCH = threading.local()
 
-
-def _scratch(shape: Tuple[int, ...], count: int = 3) -> Tuple[np.ndarray, ...]:
-    # the returned views alias the thread's pool: each kernel uses them
-    # within a single call and never across calls
-    pool = getattr(_SCRATCH, "pool", None)
-    per_buffer = 1
-    for dim in shape:
-        per_buffer *= dim
-    total = per_buffer * count
-    if pool is None or pool.size < total:
-        pool = np.empty(total, dtype=complex)
-        _SCRATCH.pool = pool
-    return tuple(
-        pool[i * per_buffer : (i + 1) * per_buffer].reshape(shape)
-        for i in range(count)
-    )
-
-
-def dense_apply(data: np.ndarray, num_qubits: int, matrix: np.ndarray, targets) -> np.ndarray:
+def dense_apply(
+    data, num_qubits: int, matrix, targets, ops: Optional[ArrayOps] = None
+):
     """moveaxis/reshape + BLAS application; returns a new contiguous array.
 
     The single implementation of the generic dense path:
     :meth:`Statevector.apply_unitary` rebinds its buffer to the result, while
     the kernels' :func:`_apply_dense_fallback` copies it back in place.
     """
+    if ops is None:
+        ops = get_ops()
     k = len(targets)
     axes = [num_qubits - 1 - t for t in targets]
     psi = data.reshape((2,) * num_qubits)
-    psi = np.moveaxis(psi, axes, range(k))
+    psi = ops.moveaxis(psi, axes, range(k))
     tail_shape = psi.shape[k:]
     flat = psi.reshape(2**k, -1)
-    flat = matrix @ flat
+    flat = ops.matmul(matrix, flat)
     flat = flat.reshape((2,) * k + tail_shape)
-    return np.ascontiguousarray(np.moveaxis(flat, range(k), axes).reshape(-1))
+    return ops.ascontiguousarray(ops.moveaxis(flat, range(k), axes).reshape(-1))
 
 
-def _apply_dense_fallback(data: np.ndarray, num_qubits: int, matrix: np.ndarray, targets) -> None:
+def _apply_dense_fallback(data, num_qubits: int, matrix, targets, ops: ArrayOps) -> None:
     """In-place variant of :func:`dense_apply`, used by the dense kernels for
     qubit layouts where strided slicing is slower than one packed matmul."""
-    data[:] = dense_apply(data, num_qubits, matrix, targets)
+    data[:] = dense_apply(data, num_qubits, matrix, targets, ops=ops)
 
 
-def apply_single_qubit(data: np.ndarray, num_qubits: int, matrix: np.ndarray, qubit: int) -> None:
+def apply_single_qubit(
+    data, num_qubits: int, matrix, qubit: int, ops: Optional[ArrayOps] = None
+) -> None:
     """Apply a 2x2 unitary to *qubit* in place without a full-tensor transpose.
 
     Three regimes, chosen by where the qubit sits in the flat index:
@@ -151,48 +143,62 @@ def apply_single_qubit(data: np.ndarray, num_qubits: int, matrix: np.ndarray, qu
     * middle qubits: scalar-times-slice arithmetic on the ``(high, 2, low)``
       view, the cheapest path when the inner runs are long enough to vectorise.
     """
+    if ops is None:
+        ops = get_ops()
     low = 1 << qubit
     high = data.size >> (qubit + 1)
     view = data.reshape(-1, 2, low)
     if _is_x_matrix(matrix):
         a0 = view[:, 0, :]
         a1 = view[:, 1, :]
-        (tmp,) = _scratch(a1.shape, 1)
-        np.copyto(tmp, a1)
+        (tmp,) = ops.scratch(a1.shape, 1)
+        ops.copyto(tmp, a1)
         view[:, 1, :] = a0
         view[:, 0, :] = tmp
         return
     if high <= _MAX_GEMM_BLOCKS:
         for block in view:
-            block[:] = matrix @ block
+            block[:] = ops.matmul(matrix, block)
         return
     if low < _MIN_STRIDE:
-        expanded = np.kron(matrix, np.eye(low, dtype=complex))
+        expanded = ops.kron(matrix, ops.eye(low, dtype=complex))
         packed = data.reshape(-1, 2 * low)
-        packed[:] = packed @ expanded.T
+        packed[:] = ops.matmul(packed, expanded.T)
         return
     a0 = view[:, 0, :]
     a1 = view[:, 1, :]
-    s0, s1, s2 = _scratch((high, low))
-    np.multiply(a0, matrix[0, 0], out=s0)
-    np.multiply(a1, matrix[0, 1], out=s1)
-    np.add(s0, s1, out=s0)
-    np.multiply(a0, matrix[1, 0], out=s1)
-    np.multiply(a1, matrix[1, 1], out=s2)
-    np.add(s1, s2, out=s1)
+    s0, s1, s2 = ops.scratch((high, low))
+    ops.multiply(a0, matrix[0, 0], out=s0)
+    ops.multiply(a1, matrix[0, 1], out=s1)
+    ops.add(s0, s1, out=s0)
+    ops.multiply(a0, matrix[1, 0], out=s1)
+    ops.multiply(a1, matrix[1, 1], out=s2)
+    ops.add(s1, s2, out=s1)
     view[:, 0, :] = s0
     view[:, 1, :] = s1
 
 
-def apply_diagonal(data: np.ndarray, num_qubits: int, diag: np.ndarray, targets: Sequence[int]) -> None:
+#: sparse/dense crossover for :func:`apply_diagonal`: with more non-unit
+#: entries than this fraction of the diagonal, one broadcast multiply over
+#: the whole state beats per-entry slice writes
+_DIAG_DENSE_MIN_ENTRIES = 4
+
+
+def apply_diagonal(
+    data, num_qubits: int, diag, targets: Sequence[int], ops: Optional[ArrayOps] = None
+) -> None:
     """Multiply basis-aligned slices by the entries of a diagonal gate.
 
     ``diag[v]`` multiplies the amplitudes whose *targets* bits spell the value
     ``v`` with ``targets[0]`` as the most significant bit (the package's
-    matrix-index convention).  Entries equal to 1 are skipped, so sparse
-    diagonals such as ``cz`` or a multi-controlled phase cost a single slice
-    multiply over their control-satisfied subspace.
+    matrix-index convention).  Sparse diagonals such as ``cz`` or a
+    multi-controlled phase skip unit entries entirely and cost a single slice
+    multiply over their control-satisfied subspace; *dense* diagonals (fused
+    phase runs, ``rzz``-style products) are applied as one broadcast multiply
+    over the full state instead of one strided write per non-unit entry.
     """
+    if ops is None:
+        ops = get_ops()
     k = len(targets)
     if k == 1:
         low = 1 << targets[0]
@@ -204,10 +210,24 @@ def apply_diagonal(data: np.ndarray, num_qubits: int, diag: np.ndarray, targets:
         return
     view, axes = _qubit_view(data, num_qubits, targets)
     ndim = view.ndim
+    nonunit = ops.flatnonzero(diag != 1)
+    if nonunit.size > _DIAG_DENSE_MIN_ENTRIES and 2 * int(nonunit.size) >= diag.size:
+        # dense diagonal: broadcast the 2^k entries against the state's qubit
+        # axes and multiply once.  Unit entries multiply by exactly 1.0, which
+        # is an exact IEEE operation, so this stays bit-identical to the
+        # sparse path.  ``diag`` axis j belongs to targets[j] (MSB first);
+        # transpose into ascending view-axis order before aligning.
+        tensor = diag.reshape((2,) * k)
+        perm = sorted(range(k), key=lambda j: axes[targets[j]])
+        bshape = [1] * ndim
+        for target in targets:
+            bshape[axes[target]] = 2
+        view *= tensor.transpose(perm).reshape(bshape)
+        return
     # iterate only the non-unit entries: a multi-controlled phase has one,
     # so e.g. a 21-control mcz costs a single slice multiply instead of a
     # 2^22-iteration Python loop
-    for value in np.flatnonzero(diag != 1):
+    for value in nonunit:
         value = int(value)
         index = [slice(None)] * ndim
         for position, target in enumerate(targets):
@@ -216,15 +236,18 @@ def apply_diagonal(data: np.ndarray, num_qubits: int, diag: np.ndarray, targets:
 
 
 def apply_controlled(
-    data: np.ndarray,
+    data,
     num_qubits: int,
-    matrix: np.ndarray,
+    matrix,
     controls: Sequence[int],
     target: int,
+    ops: Optional[ArrayOps] = None,
 ) -> None:
     """Apply a 2x2 unitary to *target* on the slice where all *controls* are 1."""
+    if ops is None:
+        ops = get_ops()
     if not controls:
-        apply_single_qubit(data, num_qubits, matrix, target)
+        apply_single_qubit(data, num_qubits, matrix, target, ops=ops)
         return
     view, axes = _qubit_view(data, num_qubits, (*controls, target))
     base = [slice(None)] * view.ndim
@@ -239,8 +262,8 @@ def apply_controlled(
     a0 = view[index0]
     a1 = view[index1]
     if _is_x_matrix(matrix):
-        (tmp,) = _scratch(a1.shape, 1)
-        np.copyto(tmp, a1)
+        (tmp,) = ops.scratch(a1.shape, 1)
+        ops.copyto(tmp, a1)
         view[index1] = a0
         view[index0] = tmp
         return
@@ -252,23 +275,24 @@ def apply_controlled(
         if matrix[1, 1] != 1:
             a1 *= matrix[1, 1]
         return
-    s0, s1, s2 = _scratch(a0.shape)
-    np.multiply(a0, matrix[0, 0], out=s0)
-    np.multiply(a1, matrix[0, 1], out=s1)
-    np.add(s0, s1, out=s0)
-    np.multiply(a0, matrix[1, 0], out=s1)
-    np.multiply(a1, matrix[1, 1], out=s2)
-    np.add(s1, s2, out=s1)
+    s0, s1, s2 = ops.scratch(a0.shape)
+    ops.multiply(a0, matrix[0, 0], out=s0)
+    ops.multiply(a1, matrix[0, 1], out=s1)
+    ops.add(s0, s1, out=s0)
+    ops.multiply(a0, matrix[1, 0], out=s1)
+    ops.multiply(a1, matrix[1, 1], out=s2)
+    ops.add(s1, s2, out=s1)
     view[index0] = s0
     view[index1] = s1
 
 
 def apply_two_qubit(
-    data: np.ndarray,
+    data,
     num_qubits: int,
-    matrix: np.ndarray,
+    matrix,
     target0: int,
     target1: int,
+    ops: Optional[ArrayOps] = None,
 ) -> None:
     """Apply a dense 4x4 unitary to ``(target0, target1)`` without transposes.
 
@@ -277,8 +301,10 @@ def apply_two_qubit(
     for sparse matrices (permutation-like gates, controlled rotations); dense
     matrices and low-qubit layouts go through one packed BLAS matmul instead.
     """
-    if (1 << min(target0, target1)) < _MIN_STRIDE or np.count_nonzero(matrix) > 8:
-        _apply_dense_fallback(data, num_qubits, matrix, (target0, target1))
+    if ops is None:
+        ops = get_ops()
+    if (1 << min(target0, target1)) < _MIN_STRIDE or ops.count_nonzero(matrix) > 8:
+        _apply_dense_fallback(data, num_qubits, matrix, (target0, target1), ops)
         return
     view, axes = _qubit_view(data, num_qubits, (target0, target1))
     ndim = view.ndim
@@ -291,7 +317,7 @@ def apply_two_qubit(
         index = tuple(index)
         indices.append(index)
         slices.append(view[index])
-    buffers = _scratch(slices[0].shape, 5)
+    buffers = ops.scratch(slices[0].shape, 5)
     tmp = buffers[4]
     updated = []
     for row in range(4):
@@ -302,10 +328,10 @@ def apply_two_qubit(
                 continue
             if acc is None:
                 acc = buffers[row]
-                np.multiply(slices[col], entry, out=acc)
+                ops.multiply(slices[col], entry, out=acc)
             else:
-                np.multiply(slices[col], entry, out=tmp)
-                np.add(acc, tmp, out=acc)
+                ops.multiply(slices[col], entry, out=tmp)
+                ops.add(acc, tmp, out=acc)
         updated.append(acc)
     for row in range(4):
         if updated[row] is None:
@@ -315,18 +341,21 @@ def apply_two_qubit(
 
 
 def apply_swap(
-    data: np.ndarray,
+    data,
     num_qubits: int,
     qubit1: int,
     qubit2: int,
     controls: Sequence[int] = (),
     phase: complex = 1.0,
+    ops: Optional[ArrayOps] = None,
 ) -> None:
     """Exchange the |01> and |10> slices of two qubits (optionally controlled).
 
     *phase* multiplies the exchanged amplitudes, so ``phase=1j`` implements
     the ``iswap`` gate.
     """
+    if ops is None:
+        ops = get_ops()
     view, axes = _qubit_view(data, num_qubits, (*controls, qubit1, qubit2))
     base = [slice(None)] * view.ndim
     for control in controls:
@@ -339,8 +368,8 @@ def apply_swap(
     index10[axes[qubit2]] = 0
     index01 = tuple(index01)
     index10 = tuple(index10)
-    (tmp,) = _scratch(view[index01].shape, 1)
-    np.copyto(tmp, view[index01])
+    (tmp,) = ops.scratch(view[index01].shape, 1)
+    ops.copyto(tmp, view[index01])
     if phase == 1.0:
         view[index01] = view[index10]
         view[index10] = tmp
@@ -353,18 +382,24 @@ def apply_swap(
 # Dispatch layer
 # ---------------------------------------------------------------------------
 
-def _matrix_diagonal(matrix: np.ndarray) -> Optional[np.ndarray]:
+def _matrix_diagonal(matrix, ops: ArrayOps):
     """The diagonal of *matrix* if it is exactly diagonal, else ``None``."""
     dim = matrix.shape[0]
     if dim > (1 << _MAX_DIAG_CHECK_QUBITS):
         return None
     diag = np.diagonal(matrix)
-    if np.count_nonzero(matrix) != np.count_nonzero(diag):
+    if ops.count_nonzero(matrix) != ops.count_nonzero(diag):
         return None
     return diag
 
 
-def apply_named_gate(state, name: str, params: Sequence[float], targets: Sequence[int]) -> bool:
+def apply_named_gate(
+    state,
+    name: str,
+    params: Sequence[float],
+    targets: Sequence[int],
+    ops: Optional[ArrayOps] = None,
+) -> bool:
     """Apply the named gate through a specialized kernel if one exists.
 
     *state* is a :class:`~repro.qsim.statevector.Statevector`.  Returns
@@ -374,6 +409,8 @@ def apply_named_gate(state, name: str, params: Sequence[float], targets: Sequenc
     returns ``False``, so the fallback raises the same shape error the
     generic path always has instead of corrupting the state.
     """
+    if ops is None:
+        ops = get_ops()
     data, num_qubits = state.data, state.num_qubits
     entry = gates.GATE_REGISTRY.get(name)
     if entry is not None and entry[0] != len(targets):
@@ -383,7 +420,7 @@ def apply_named_gate(state, name: str, params: Sequence[float], targets: Sequenc
         diag = diag_factory(*params)
         if diag.size != 1 << len(targets):
             return False
-        apply_diagonal(data, num_qubits, diag, targets)
+        apply_diagonal(data, num_qubits, diag, targets, ops=ops)
         return True
     controlled = gates.CONTROLLED_GATES.get(name)
     if controlled is not None:
@@ -391,30 +428,37 @@ def apply_named_gate(state, name: str, params: Sequence[float], targets: Sequenc
         if len(targets) != num_controls + 1:
             return False
         apply_controlled(
-            data, num_qubits, base_factory(*params), targets[:num_controls], targets[num_controls]
+            data,
+            num_qubits,
+            base_factory(*params),
+            targets[:num_controls],
+            targets[num_controls],
+            ops=ops,
         )
         return True
     if name == "swap" and len(targets) == 2:
-        apply_swap(data, num_qubits, targets[0], targets[1])
+        apply_swap(data, num_qubits, targets[0], targets[1], ops=ops)
         return True
     if name == "iswap" and len(targets) == 2:
-        apply_swap(data, num_qubits, targets[0], targets[1], phase=1j)
+        apply_swap(data, num_qubits, targets[0], targets[1], phase=1j, ops=ops)
         return True
     if name == "cswap" and len(targets) == 3:
-        apply_swap(data, num_qubits, targets[1], targets[2], controls=(targets[0],))
+        apply_swap(data, num_qubits, targets[1], targets[2], controls=(targets[0],), ops=ops)
         return True
     if entry is not None:
         arity, factory = entry
         if arity == 1:
-            apply_single_qubit(data, num_qubits, factory(*params), targets[0])
+            apply_single_qubit(data, num_qubits, factory(*params), targets[0], ops=ops)
             return True
         if arity == 2:
-            apply_two_qubit(data, num_qubits, factory(*params), targets[0], targets[1])
+            apply_two_qubit(data, num_qubits, factory(*params), targets[0], targets[1], ops=ops)
             return True
     return False
 
 
-def apply_instruction(state, operation: Instruction, targets: Sequence[int]) -> bool:
+def apply_instruction(
+    state, operation: Instruction, targets: Sequence[int], ops: Optional[ArrayOps] = None
+) -> bool:
     """Fast-path dispatch for a bound circuit instruction.
 
     Routes *operation* to the cheapest kernel based on its structure; returns
@@ -425,6 +469,8 @@ def apply_instruction(state, operation: Instruction, targets: Sequence[int]) -> 
         return False
     if len(targets) != operation.num_qubits:
         return False
+    if ops is None:
+        ops = get_ops()
     data, num_qubits = state.data, state.num_qubits
     if isinstance(operation, ControlledGate):
         base = operation.base_gate
@@ -433,25 +479,25 @@ def apply_instruction(state, operation: Instruction, targets: Sequence[int]) -> 
         if base.num_qubits == 1:
             # diagonal bases are caught by apply_controlled's phase special
             # case, so a single dispatch covers mcz/mcp/crz and dense bases
-            apply_controlled(data, num_qubits, base.to_matrix(), targets[:-1], targets[-1])
+            apply_controlled(data, num_qubits, base.to_matrix(), targets[:-1], targets[-1], ops=ops)
             return True
         if base.name == "swap" and not isinstance(base, UnitaryGate):
-            apply_swap(data, num_qubits, targets[-2], targets[-1], controls=targets[:-2])
+            apply_swap(data, num_qubits, targets[-2], targets[-1], controls=targets[:-2], ops=ops)
             return True
         return False
     if isinstance(operation, UnitaryGate):
         matrix = operation.to_matrix()
         if operation.num_qubits == 1:
-            apply_single_qubit(data, num_qubits, matrix, targets[0])
+            apply_single_qubit(data, num_qubits, matrix, targets[0], ops=ops)
             return True
-        diag = _matrix_diagonal(matrix)
+        diag = _matrix_diagonal(matrix, ops)
         if diag is not None:
-            apply_diagonal(data, num_qubits, diag, targets)
+            apply_diagonal(data, num_qubits, diag, targets, ops=ops)
             return True
         if operation.num_qubits == 2:
-            apply_two_qubit(data, num_qubits, matrix, targets[0], targets[1])
+            apply_two_qubit(data, num_qubits, matrix, targets[0], targets[1], ops=ops)
             return True
         return False
     if isinstance(operation, Gate):
-        return apply_named_gate(state, operation.name, operation.params, targets)
+        return apply_named_gate(state, operation.name, operation.params, targets, ops=ops)
     return False

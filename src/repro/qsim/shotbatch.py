@@ -1,0 +1,486 @@
+"""Batched noisy-shot execution: all trajectories as one (shots x 2^n) tensor.
+
+The classic per-shot noisy path re-runs the circuit once per shot in a Python
+loop: every gate costs a fresh pass of interpreter dispatch and a kernel call
+on one ``2^n`` statevector.  For Pauli-channel noise on final-measurement
+circuits nothing about a trajectory depends on any other, so this module
+evolves *all* shots together as a ``(shots, 2^n)`` tensor: one vectorised
+elementwise kernel per gate for the whole batch, noise injected by fancy-
+indexing exactly the shot rows whose pre-drawn uniforms selected an error,
+and measurement collapse performed on all rows at once.
+
+The circuit is lowered **once** into an execution program whose steps carry
+their precomputed slice indices, non-zero matrix entries and per-interval
+error rows; the per-batch loop then only reshapes and calls array kernels.
+Permutation gates (``x``, ``cx``, ``swap``, ``iswap``, ...) take a dedicated
+copy path -- one snapshot plus one write per slice -- instead of the generic
+multiply-accumulate.
+
+Determinism and the per-shot/batched contract
+---------------------------------------------
+Both ``shot_batching="batched"`` and ``shot_batching="per_shot"`` on
+:class:`~repro.qsim.backends.engines.StatevectorBackend` run *this* executor
+(with the cache-sized default batch and ``batch_size=1`` respectively), and
+the two are **bit-identical for the same seed** by construction:
+
+* every random number is pre-drawn from one ``Generator`` in circuit order
+  (per unitary instruction: one uniform per touched qubit; per measurement:
+  one uniform) *before* evolution starts, so the stream never depends on the
+  batch split;
+* all gate arithmetic is elementwise scalar-times-slice accumulation in a
+  fixed order -- never a BLAS matmul, whose results can vary bitwise with
+  the operand shape -- so row ``i`` of the batch computes exactly what a
+  batch of one would;
+* probability reductions go through
+  :meth:`~repro.qsim.ops.ArrayOps.row_sums`, which reduces every row
+  independently in a fixed order.
+
+Eligibility
+-----------
+:func:`ineligible_reason` names why a circuit/noise pair cannot take this
+path (non-Pauli noise, mid-circuit measurement, ``reset``/``initialize``,
+very wide gates); such runs fall back to the legacy per-shot loop in
+:class:`~repro.qsim.simulator.StatevectorSimulator`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .circuit import QuantumCircuit
+from .exceptions import SimulationError
+from .instruction import Barrier, Measure
+from .noise import NoiseModel
+from .ops import ArrayOps, get_ops
+from .simulator import Result, measurements_are_final
+
+__all__ = ["ineligible_reason", "run_batched", "MAX_BATCH_AMPLITUDES"]
+
+#: widest gate the batched executor accumulates (2^k slices per gate; matches
+#: the diagonal-detection bound in kernels.py)
+_MAX_BATCH_GATE_QUBITS = 6
+
+#: hard cap on simultaneous amplitudes (batch_rows * 2^n); bounds the working
+#: set of a batch plus its scratch to a few hundred MB
+MAX_BATCH_AMPLITUDES = 1 << 23
+
+#: what the *default* batch size aims for: batch_rows * 2^n amplitudes that
+#: keep a batch plus its scratch buffers inside the L2/L3 cache tier.  The
+#: executor is elementwise and therefore memory-bound; pushing the batch to
+#: the memory cap (2^23 amps = 128 MB complex) measures ~4x *slower* than
+#: this cache-sized default at 12 qubits (see benchmarks/bench_kernels.py).
+_TARGET_BATCH_AMPLITUDES = 1 << 16
+
+
+def ineligible_reason(
+    circuit: QuantumCircuit, noise_model: Optional[NoiseModel]
+) -> Optional[str]:
+    """Why *circuit* under *noise_model* cannot run batched, or ``None``.
+
+    ``None`` means every shot of the pair can be evolved as one tensor; a
+    string is a human-readable reason suitable for error messages and
+    telemetry tags.
+    """
+    if circuit.num_qubits == 0:
+        return "circuit has no qubits"
+    if noise_model is not None and noise_model.pauli_terms() is None:
+        return "noise model is not a single-qubit Pauli channel"
+    if not measurements_are_final(circuit):
+        return "circuit has mid-circuit measurements"
+    for instr in circuit.data:
+        op = instr.operation
+        if isinstance(op, (Measure, Barrier)):
+            continue
+        if not op.is_unitary:
+            return f"instruction {op.name!r} requires per-shot collapse"
+        if noise_model is not None and getattr(op, "is_fused_block", False):
+            # noise is defined per gate; a fused block would receive one
+            # error per *block* (the legacy path rejects this case too)
+            return "circuit contains fused blocks (noise is defined per gate)"
+        if op.num_qubits > _MAX_BATCH_GATE_QUBITS:
+            return (
+                f"gate {op.name!r} touches {op.num_qubits} qubits "
+                f"(batched limit is {_MAX_BATCH_GATE_QUBITS})"
+            )
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Plan construction: circuit -> steps with precomputed indexing
+# ---------------------------------------------------------------------------
+#
+# Step kinds (plain tuples; the executor switches on element 0):
+#   ("diag",    shape, [(index, scalar), ...])
+#   ("diag_full", factor)                   factor = (2^n,) per-amplitude phases
+#   ("dense",   shape, indices, rows)       rows = [(row, [(col, entry), ...])]
+#   ("perm",    shape, indices, moves)      moves = [(row, col, entry), ...]
+#   ("noise",   qubit, [(pauli, rows_for_whole_run), ...])
+#   ("measure", qubit, clbit, uniforms)
+#
+# ``shape`` excludes the leading batch axis; every ``index`` tuple starts with
+# slice(None) for it, so the per-batch loop only reshapes and indexes.
+
+
+def _pauli_intervals(noise_model: NoiseModel) -> List[Tuple[str, float, float]]:
+    """``(pauli, lo, hi)`` half-open subintervals of [0, 1) per error term.
+
+    A pre-drawn uniform ``u`` selects the Pauli whose interval contains it
+    (identity when none does) -- the same distribution the legacy trajectory
+    models sample with ``rng.random() < p`` plus ``rng.integers``.
+    """
+    terms = noise_model.pauli_terms()
+    if terms is None:  # callers check eligibility first
+        raise SimulationError("noise model is not a Pauli channel")
+    intervals = []
+    edge = 0.0
+    for pauli, probability in terms:
+        intervals.append((pauli, edge, edge + probability))
+        edge += probability
+    if edge > 1.0 + 1e-12:
+        raise SimulationError("Pauli channel probabilities exceed 1")
+    return intervals
+
+
+def _matrix_diagonal(matrix: np.ndarray) -> Optional[np.ndarray]:
+    diag = np.diagonal(matrix)
+    if np.count_nonzero(matrix) != np.count_nonzero(diag):
+        return None
+    return diag
+
+
+def _axis_layout(num_qubits: int, qubits: Sequence[int]):
+    """Static version of the batch view: tensor shape (without the batch
+    axis) giving every qubit in *qubits* its own length-2 axis, plus the
+    axis map ``axes[q]`` into the batched view."""
+    ordered = sorted(qubits)
+    shape = []
+    low = 0
+    for q in ordered:
+        shape.append(1 << (q - low))
+        shape.append(2)
+        low = q + 1
+    shape.append(1 << (num_qubits - low))
+    shape.reverse()
+    ndim = len(shape) + 1  # + leading batch axis
+    axes = {q: ndim - 2 - 2 * i for i, q in enumerate(ordered)}
+    return tuple(shape), axes, ndim
+
+
+def _value_index(ndim: int, axes, targets: Sequence[int], value: int) -> tuple:
+    """The view index selecting the slice whose *targets* bits spell *value*
+    (``targets[0]`` most significant, matching the matrix convention)."""
+    k = len(targets)
+    index: list = [slice(None)] * ndim
+    for position, target in enumerate(targets):
+        index[axes[target]] = (value >> (k - 1 - position)) & 1
+    return tuple(index)
+
+
+def _lower_unitary(matrix: np.ndarray, targets: Sequence[int], num_qubits: int) -> tuple:
+    """One gate -> a ``diag`` / ``perm`` / ``dense`` step with indices baked in."""
+    shape, axes, ndim = _axis_layout(num_qubits, targets)
+    diag = _matrix_diagonal(matrix)
+    if diag is not None:
+        entries = [
+            (_value_index(ndim, axes, targets, int(v)), diag[int(v)])
+            for v in np.flatnonzero(diag != 1)
+        ]
+        # Low-qubit slices have short strided runs that thrash; when the
+        # entries cover a large fraction of the state anyway, bake the whole
+        # diagonal into one (2^n,) factor and apply it as a single contiguous
+        # broadcast multiply.  Untouched amplitudes multiply by exactly 1.0,
+        # so the result stays bitwise identical to the per-entry slices.
+        affected = len(entries) << (num_qubits - len(targets))
+        run = 1 << min(targets)
+        if entries and (len(entries) > 4 or (run < 32 and 4 * affected >= (1 << num_qubits))):
+            factor = np.ones((1, *shape), dtype=complex)
+            for index, value in entries:
+                factor[index] = value
+            return ("diag_full", factor.reshape(-1))
+        return ("diag", shape, entries)
+    dim = matrix.shape[0]
+    indices = [_value_index(ndim, axes, targets, value) for value in range(dim)]
+    rows = []
+    for row in range(dim):
+        cols = [(col, matrix[row, col]) for col in range(dim) if matrix[row, col] != 0]
+        rows.append((row, cols))
+    if all(len(cols) == 1 for _, cols in rows):
+        # permutation-like gate (x, cx, swap, iswap, cy, ...): each output
+        # slice is one scaled input slice -- snapshot + write, no accumulate.
+        # Identity moves (row == col with a unit entry, e.g. the control-0
+        # rows of a cx) are dropped so the gate only touches the slices it
+        # permutes.
+        moves = [
+            (row, cols[0][0], cols[0][1])
+            for row, cols in rows
+            if not (row == cols[0][0] and cols[0][1] == 1)
+        ]
+        return ("perm", shape, indices, moves)
+    return ("dense", shape, indices, rows)
+
+
+def _build_plan(
+    circuit: QuantumCircuit,
+    noise_model: Optional[NoiseModel],
+    shots: int,
+    rng: np.random.Generator,
+) -> List[tuple]:
+    """Lower the circuit to executor steps, pre-drawing every random number.
+
+    The draw order is fixed by the circuit alone (one uniform per touched
+    qubit per unitary instruction, one per measurement), so the random
+    tables -- and therefore every downstream outcome -- are independent of
+    how the shots are later split into batches.  Noise uniforms are resolved
+    to per-Pauli shot-row lists here, once for the whole run.
+    """
+    intervals = _pauli_intervals(noise_model) if noise_model is not None else []
+    plan: List[tuple] = []
+    n = circuit.num_qubits
+    for instr in circuit.data:
+        op = instr.operation
+        if isinstance(op, Barrier):
+            continue
+        if isinstance(op, Measure):
+            qubit = circuit.qubit_index(instr.qubits[0])
+            clbit = circuit.clbit_index(instr.clbits[0])
+            plan.append(("measure", qubit, clbit, rng.random(shots)))
+            continue
+        targets = tuple(circuit.qubit_index(q) for q in instr.qubits)
+        matrix = np.asarray(op.to_matrix(), dtype=complex)
+        plan.append(_lower_unitary(matrix, targets, n))
+        if noise_model is not None:
+            for qubit in targets:
+                uniforms = rng.random(shots)
+                hits = [
+                    (pauli, np.flatnonzero((uniforms >= lo) & (uniforms < hi)))
+                    for pauli, lo, hi in intervals
+                ]
+                hits = [(p, r) for p, r in hits if r.size]
+                if hits:  # a step no shot's uniform selected is a no-op
+                    plan.append(("noise", qubit, hits))
+    return plan
+
+
+# ---------------------------------------------------------------------------
+# Batched kernels (elementwise only -- see the module docstring)
+# ---------------------------------------------------------------------------
+
+
+def _apply_diag_batched(states, shape, entries) -> None:
+    """Per-entry slice phase multiplies over the whole batch (unit entries
+    were dropped at lowering time)."""
+    view = states.reshape((states.shape[0], *shape))
+    for index, value in entries:
+        view[index] *= value
+
+
+def _apply_diag_full_batched(states, factor, ops: ArrayOps) -> None:
+    """One contiguous broadcast multiply of a full-state diagonal factor."""
+    ops.multiply(states, factor, out=states)
+
+
+def _apply_perm_batched(states, shape, indices, moves, ops: ArrayOps) -> None:
+    """Permutation gate: snapshot every source slice, then one write per row.
+
+    ``entry`` is always unit-modulus here; a plain ``copyto`` handles the
+    ``entry == 1`` case and a single scalar multiply the phased ones, so the
+    whole gate costs two passes over its slices instead of the generic
+    multiply-accumulate's four-plus.
+    """
+    view = states.reshape((states.shape[0], *shape))
+    touched = sorted({col for _, col, _ in moves})
+    slot = {col: i for i, col in enumerate(touched)}
+    buffers = ops.scratch(view[indices[0]].shape, max(len(touched), 1))
+    for col in touched:
+        ops.copyto(buffers[slot[col]], view[indices[col]])
+    for row, col, entry in moves:
+        if entry == 1:
+            ops.copyto(view[indices[row]], buffers[slot[col]])
+        else:
+            ops.multiply(buffers[slot[col]], entry, out=view[indices[row]])
+
+
+def _apply_dense_batched(states, shape, indices, rows, ops: ArrayOps) -> None:
+    """Scalar-times-slice accumulation of a 2^k x 2^k unitary over the batch.
+
+    Fixed accumulation order (ascending column, zeros dropped at lowering)
+    and purely elementwise arithmetic: the value computed for one shot row
+    never depends on the batch size, which is what makes ``per_shot`` and
+    ``batched`` modes bit-identical.
+    """
+    view = states.reshape((states.shape[0], *shape))
+    dim = len(indices)
+    # snapshot every input slice into contiguous scratch first: the strided
+    # state memory is then read exactly once and written exactly once per
+    # gate, and the multiply/add ladder runs contiguous-to-contiguous
+    buffers = ops.scratch(view[indices[0]].shape, 2 * dim + 1)
+    snap = buffers[:dim]
+    accs = buffers[dim : 2 * dim]
+    tmp = buffers[2 * dim]
+    for col in range(dim):
+        ops.copyto(snap[col], view[indices[col]])
+    for row, cols in rows:
+        acc = None
+        for col, entry in cols:
+            if acc is None:
+                acc = accs[row]
+                ops.multiply(snap[col], entry, out=acc)
+            else:
+                ops.multiply(snap[col], entry, out=tmp)
+                ops.add(acc, tmp, out=acc)
+        view[indices[row]] = 0.0 if acc is None else acc
+
+
+def _apply_pauli_rows(states, num_qubits: int, pauli: str, qubit: int, rows) -> None:
+    """Apply a Pauli error to *qubit* on the selected shot *rows* only.
+
+    All three cases are exact bitwise operations on the amplitudes (slice
+    exchange, sign flip, +-i rotation), so injecting an error never perturbs
+    the untouched rows or loses precision on the touched ones.
+    """
+    low = 1 << qubit
+    view = states.reshape(states.shape[0], -1, 2, low)
+    if pauli == "X":
+        a0 = view[rows, :, 0, :]  # fancy indexing copies, so the swap is safe
+        a1 = view[rows, :, 1, :]
+        view[rows, :, 0, :] = a1
+        view[rows, :, 1, :] = a0
+    elif pauli == "Z":
+        view[rows, :, 1, :] *= -1.0
+    elif pauli == "Y":
+        a0 = view[rows, :, 0, :]
+        a1 = view[rows, :, 1, :]
+        view[rows, :, 0, :] = a1 * (-1j)
+        view[rows, :, 1, :] = a0 * 1j
+    else:  # pragma: no cover - pauli_terms() only emits X/Y/Z
+        raise SimulationError(f"unknown Pauli {pauli!r}")
+
+
+def _measure_batched(states, num_qubits: int, qubit: int, uniforms, norm, ops: ArrayOps):
+    """Measure *qubit* on every row, collapse in place, return the outcome
+    bits and the surviving (unnormalised) norm per row.
+
+    Only the probability of outcome 0 is reduced from the amplitudes (a
+    batch-invariant per-row reduction over a contiguous copy of the
+    half-slice); the probability of 1 is the tracked *norm* minus it.
+    Unitary steps and Pauli injections preserve the norm, and collapse
+    zeroes the losing slice without renormalising, so the tracked norm is
+    exactly the quantity later measurements must divide by -- while the
+    arithmetic stays elementwise and identical for every batch split.
+    """
+    low = 1 << qubit
+    batch = states.shape[0]
+    view = states.reshape(batch, -1, 2, low)
+    # abs2 materialises a contiguous array from the strided 0-half directly,
+    # skipping a separate complex-valued snapshot of the slice
+    p0 = ops.row_sums(ops.abs2(view[:, :, 0, :]).reshape(batch, -1))
+    outcome = (uniforms >= p0 / norm).astype(np.int64)
+    survived = np.where(outcome == 0, p0, norm - p0)
+    if not np.all(survived > 0):
+        raise SimulationError("collapse produced a zero-norm state")
+    zero_rows = ops.flatnonzero(outcome == 0)
+    one_rows = ops.flatnonzero(outcome)
+    if zero_rows.size:
+        view[zero_rows, :, 1, :] = 0.0
+    if one_rows.size:
+        view[one_rows, :, 0, :] = 0.0
+    return outcome, survived
+
+
+# ---------------------------------------------------------------------------
+# Executor
+# ---------------------------------------------------------------------------
+
+
+def default_batch_size(num_qubits: int, shots: int) -> int:
+    """The cache-sized batch: as many rows as keep ``batch * 2^n`` near
+    :data:`_TARGET_BATCH_AMPLITUDES` (never above :data:`MAX_BATCH_AMPLITUDES`,
+    never more rows than *shots*)."""
+    return max(1, min(shots, _TARGET_BATCH_AMPLITUDES >> num_qubits))
+
+
+def _batch_rows(rows_for_run: np.ndarray, start: int, stop: int) -> np.ndarray:
+    """The run-level shot rows that fall in [start, stop), rebased to the batch."""
+    lo = int(np.searchsorted(rows_for_run, start))
+    hi = int(np.searchsorted(rows_for_run, stop))
+    return rows_for_run[lo:hi] - start
+
+
+def run_batched(
+    circuit: QuantumCircuit,
+    noise_model: Optional[NoiseModel],
+    shots: int,
+    seed: Optional[int],
+    memory: bool = False,
+    batch_size: Optional[int] = None,
+    ops: Optional[ArrayOps] = None,
+) -> Result:
+    """Run *shots* noise trajectories of *circuit* as batched tensors.
+
+    Callers must have checked :func:`ineligible_reason` first.  *batch_size*
+    caps how many trajectories evolve simultaneously (default: the cache-sized
+    :func:`default_batch_size`); results are bit-identical for every batch
+    size at a fixed *seed*, which is how the backend's ``per_shot`` mode
+    (``batch_size=1``) and ``batched`` mode stay interchangeable.
+    """
+    if shots <= 0:
+        raise SimulationError("shots must be positive")
+    reason = ineligible_reason(circuit, noise_model)
+    if reason is not None:
+        raise SimulationError(f"circuit is not batchable: {reason}")
+    if ops is None:
+        ops = get_ops()
+    n = circuit.num_qubits
+    num_clbits = circuit.num_clbits
+    rng = ops.rng(seed)
+    plan = _build_plan(circuit, noise_model, shots, rng)
+    if batch_size is None:
+        batch_size = default_batch_size(n, shots)
+    batch_size = max(1, min(int(batch_size), shots, MAX_BATCH_AMPLITUDES >> n or 1))
+
+    has_measures = any(step[0] == "measure" for step in plan)
+    dim = 1 << n
+    values = np.zeros(shots, dtype=np.int64)
+    for start in range(0, shots, batch_size):
+        stop = min(start + batch_size, shots)
+        rows = stop - start
+        states = ops.zeros((rows, dim), dtype=complex)
+        states[:, 0] = 1.0
+        norm = np.ones(rows, dtype=np.float64)
+        acc = np.zeros(rows, dtype=np.int64)
+        for step in plan:
+            kind = step[0]
+            if kind == "diag":
+                _apply_diag_batched(states, step[1], step[2])
+            elif kind == "diag_full":
+                _apply_diag_full_batched(states, step[1], ops)
+            elif kind == "perm":
+                _apply_perm_batched(states, step[1], step[2], step[3], ops)
+            elif kind == "dense":
+                _apply_dense_batched(states, step[1], step[2], step[3], ops)
+            elif kind == "noise":
+                _, qubit, hits = step
+                for pauli, rows_for_run in hits:
+                    selected = _batch_rows(rows_for_run, start, stop)
+                    if selected.size:
+                        _apply_pauli_rows(states, n, pauli, qubit, selected)
+            else:  # measure
+                _, qubit, clbit, table = step
+                outcome, norm = _measure_batched(
+                    states, n, qubit, table[start:stop], norm, ops
+                )
+                acc = (acc & ~np.int64(1 << clbit)) | (outcome << clbit)
+        values[start:stop] = acc
+
+    if not has_measures:
+        return Result(counts={}, shots=shots, memory=[] if memory else None)
+    counts: Dict[str, int] = {}
+    unique, freq = np.unique(values, return_counts=True)
+    for value, count in zip(unique, freq):
+        counts[format(int(value), f"0{num_clbits}b")] = int(count)
+    shot_values: Optional[List[str]] = None
+    if memory:
+        shot_values = [format(int(value), f"0{num_clbits}b") for value in values]
+    return Result(counts=counts, shots=shots, memory=shot_values)

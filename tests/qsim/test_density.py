@@ -190,7 +190,7 @@ class TestDensityMatrixSimulator:
         qc.x(0)
         qc.measure(0, 0)
         exact = DensityMatrixSimulator(seed=1, gate_noise={1: bit_flip_kraus(0.2)})
-        exact_counts = exact.run_counts(qc, shots=200_00)
+        exact_counts = exact.run(qc, shots=200_00).int_counts()
         trajectory = StatevectorSimulator(seed=1, noise_model=BitFlipNoise(0.2))
         traj_counts = trajectory.run(qc, shots=200_00).counts
         exact_p1 = exact_counts.get(1, 0) / 200_00
@@ -198,11 +198,10 @@ class TestDensityMatrixSimulator:
         assert abs(exact_p1 - 0.8) < 0.02
         assert abs(traj_p1 - exact_p1) < 0.03
 
-    def test_run_counts_requires_measurements(self):
-        qc = QuantumCircuit(1)
-        qc.h(0)
-        with pytest.raises(SimulationError):
-            DensityMatrixSimulator(seed=0).run_counts(qc)
+    def test_run_counts_shim_is_gone(self):
+        # the deprecated int-keyed shim is retired; Result.int_counts() is
+        # the supported spelling
+        assert not hasattr(DensityMatrixSimulator(seed=0), "run_counts")
 
     def test_run_returns_unified_result(self):
         qc = QuantumCircuit(2, 2)
@@ -253,13 +252,12 @@ class TestDensityMatrixSimulator:
         assert sum(result.counts.values()) == 80
         assert result.density_matrix is None
 
-    def test_run_counts_is_a_shim_over_run(self):
+    def test_int_counts_match_bitstring_counts(self):
         qc = QuantumCircuit(2, 2)
         qc.h(0).cx(0, 1)
         qc.measure([0, 1], [0, 1])
-        shim = DensityMatrixSimulator(seed=4).run_counts(qc, shots=200)
-        full = DensityMatrixSimulator(seed=4).run(qc, shots=200).int_counts()
-        assert shim == full
+        result = DensityMatrixSimulator(seed=4).run(qc, shots=200)
+        assert result.int_counts() == {int(k, 2): v for k, v in result.counts.items()}
 
     def test_reset_in_circuit(self):
         qc = QuantumCircuit(1)

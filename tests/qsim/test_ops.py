@@ -1,0 +1,683 @@
+"""The array-ops backplane and the batched noisy-shot executor.
+
+Three property families:
+
+* **registry** -- `register_ops` / `get_ops` / `set_default_ops` /
+  ``QSIM_ARRAY_OPS`` resolution, duplicate rejection, instance caching;
+* **kernels through the ops layer** -- every kernel routes its arithmetic
+  through the active :class:`ArrayOps` (verified with a call-recording
+  backend), agrees with the dense `moveaxis`+matmul fallback to 1e-12 on
+  random circuits, and is *bit-identical* wherever the arithmetic is
+  structurally exact (diagonal sparse vs dense branch, swap/iswap slice
+  exchange, the X special case);
+* **batched shots** -- ``shot_batching="batched"`` and ``"per_shot"``
+  produce bit-equal counts and memory at a fixed seed on 8-14 qubits, the
+  result is invariant under the batch split, and ineligible circuits are
+  named (or rejected when batching was forced).
+"""
+
+import numpy as np
+import pytest
+
+from repro.qsim import (
+    BitFlipNoise,
+    DepolarizingNoise,
+    NoiseModel,
+    PhaseFlipNoise,
+    QuantumCircuit,
+    StatevectorBackend,
+    gates,
+    kernels,
+    shotbatch,
+)
+from repro.qsim import ops as ops_module
+from repro.qsim.backends import DensityMatrixBackend
+from repro.qsim.exceptions import BackendError, SimulationError
+from repro.qsim.fusion import fuse_gates
+from repro.qsim.instruction import ControlledGate, Gate, UnitaryGate
+from repro.qsim.ops import (
+    NumpyOps,
+    OPS_ENV_VAR,
+    available_ops,
+    get_ops,
+    register_ops,
+    set_default_ops,
+)
+
+ATOL = 1e-12
+
+
+# ---------------------------------------------------------------------------
+# Helpers
+# ---------------------------------------------------------------------------
+
+
+def random_state(num_qubits: int, rng: np.random.Generator) -> np.ndarray:
+    data = rng.normal(size=2**num_qubits) + 1j * rng.normal(size=2**num_qubits)
+    return data / np.linalg.norm(data)
+
+
+def random_unitary(dim: int, rng: np.random.Generator) -> np.ndarray:
+    matrix = rng.normal(size=(dim, dim)) + 1j * rng.normal(size=(dim, dim))
+    q, r = np.linalg.qr(matrix)
+    return q * (np.diagonal(r) / np.abs(np.diagonal(r)))
+
+
+def noisy_circuit(num_qubits: int, depth: int, rng: np.random.Generator) -> QuantumCircuit:
+    """Random batchable circuit: named 1q/2q gates, all measurements final."""
+    qc = QuantumCircuit(num_qubits, num_qubits)
+    one_q = ["h", "x", "y", "z", "s", "t", "rx", "ry", "rz"]
+    two_q = ["cx", "cz", "swap", "rzz"]
+    params = {"rx": 1, "ry": 1, "rz": 1, "rzz": 1}
+    for _ in range(depth):
+        if rng.random() < 0.65:
+            name = one_q[rng.integers(len(one_q))]
+            targets = [int(rng.integers(num_qubits))]
+        else:
+            name = two_q[rng.integers(len(two_q))]
+            targets = [int(q) for q in rng.choice(num_qubits, 2, replace=False)]
+        angle = list(rng.uniform(0, 2 * np.pi, params.get(name, 0)))
+        qc.append(Gate(name, len(targets), angle), targets)
+    qc.measure_all()
+    return qc
+
+
+class RecordingOps(NumpyOps):
+    """NumpyOps that counts elementwise calls, proving kernels use the seam."""
+
+    name = "recording"
+
+    def __init__(self):
+        super().__init__()
+        self.calls = {"multiply": 0, "add": 0, "copyto": 0, "scratch": 0}
+
+    def multiply(self, a, b, out=None):
+        self.calls["multiply"] += 1
+        return super().multiply(a, b, out=out)
+
+    def add(self, a, b, out=None):
+        self.calls["add"] += 1
+        return super().add(a, b, out=out)
+
+    def copyto(self, dst, src):
+        self.calls["copyto"] += 1
+        super().copyto(dst, src)
+
+    def scratch(self, shape, count=3):
+        self.calls["scratch"] += 1
+        return super().scratch(shape, count)
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_numpy_is_registered_and_default(self):
+        assert "numpy" in available_ops()
+        ops = get_ops()
+        assert isinstance(ops, NumpyOps)
+        assert ops.name == "numpy"
+        assert ops_module.active_ops_name() == "numpy"
+
+    def test_instances_are_cached(self):
+        assert get_ops("numpy") is get_ops("NUMPY") is get_ops()
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(SimulationError, match="unknown array-ops backend"):
+            get_ops("no-such-backend")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(SimulationError, match="already registered"):
+            register_ops("numpy", NumpyOps)
+
+    def test_register_and_overwrite(self):
+        try:
+            register_ops("recording", RecordingOps)
+            assert "recording" in available_ops()
+            assert isinstance(get_ops("recording"), RecordingOps)
+            register_ops("recording", NumpyOps, overwrite=True)
+            # the cached instance is dropped with the old factory
+            assert type(get_ops("recording")) is NumpyOps
+        finally:
+            ops_module._REGISTRY.pop("recording", None)
+            ops_module._INSTANCES.pop("recording", None)
+
+    def test_set_default_ops(self):
+        try:
+            register_ops("recording", RecordingOps)
+            set_default_ops("recording")
+            assert ops_module.active_ops_name() == "recording"
+            assert isinstance(get_ops(), RecordingOps)
+            # explicit name still wins over the default
+            assert isinstance(get_ops("numpy"), NumpyOps)
+            set_default_ops(None)
+            assert ops_module.active_ops_name() == "numpy"
+        finally:
+            set_default_ops(None)
+            ops_module._REGISTRY.pop("recording", None)
+            ops_module._INSTANCES.pop("recording", None)
+
+    def test_set_default_validates_eagerly(self):
+        with pytest.raises(SimulationError, match="unknown array-ops backend"):
+            set_default_ops("typo-backend")
+        assert ops_module.active_ops_name() == "numpy"
+
+    def test_env_var_selection(self, monkeypatch):
+        try:
+            register_ops("recording", RecordingOps)
+            monkeypatch.setenv(OPS_ENV_VAR, "recording")
+            assert ops_module.active_ops_name() == "recording"
+            # set_default_ops takes precedence over the environment
+            set_default_ops("numpy")
+            assert ops_module.active_ops_name() == "numpy"
+        finally:
+            set_default_ops(None)
+            ops_module._REGISTRY.pop("recording", None)
+            ops_module._INSTANCES.pop("recording", None)
+
+    def test_factory_must_return_array_ops(self):
+        try:
+            register_ops("broken", lambda: object())
+            with pytest.raises(SimulationError, match="not an ArrayOps"):
+                get_ops("broken")
+        finally:
+            ops_module._REGISTRY.pop("broken", None)
+            ops_module._INSTANCES.pop("broken", None)
+
+
+# ---------------------------------------------------------------------------
+# NumpyOps primitive contracts
+# ---------------------------------------------------------------------------
+
+
+class TestNumpyOpsPrimitives:
+    def test_row_sums_is_batch_invariant(self):
+        """row_sums(x[i:i+1]) must be bit-identical to row_sums(x)[i].
+
+        This is the reduction invariance the batched measurement collapse
+        rests on: a shot's probabilities may not depend on how many other
+        shots share its batch.
+        """
+        rng = np.random.default_rng(5)
+        x = rng.normal(size=(32, 1 << 10))
+        whole = NumpyOps().row_sums(x)
+        for i in (0, 1, 7, 31):
+            row = NumpyOps().row_sums(x[i : i + 1])
+            assert row[0] == whole[i]
+
+    def test_abs2(self):
+        rng = np.random.default_rng(6)
+        a = rng.normal(size=64) + 1j * rng.normal(size=64)
+        got = NumpyOps().abs2(a)
+        assert got.dtype == np.float64
+        np.testing.assert_array_equal(got, np.real(a) ** 2 + np.imag(a) ** 2)
+
+    def test_scratch_buffers_are_disjoint(self):
+        ops = NumpyOps()
+        a, b, c = ops.scratch((4, 8), 3)
+        assert a.shape == b.shape == c.shape == (4, 8)
+        a[:] = 1.0
+        b[:] = 2.0
+        c[:] = 3.0
+        assert np.all(a == 1.0) and np.all(b == 2.0) and np.all(c == 3.0)
+
+    def test_scratch_pool_grows(self):
+        ops = NumpyOps()
+        (small,) = ops.scratch((16,), 1)
+        (big,) = ops.scratch((1 << 12,), 1)
+        assert big.size == 1 << 12
+        assert small.size == 16
+
+
+# ---------------------------------------------------------------------------
+# Kernels compute through the ops layer
+# ---------------------------------------------------------------------------
+
+
+class TestKernelsUseOpsLayer:
+    def test_kernels_route_arithmetic_through_ops(self):
+        """A recording backend observes the kernels' elementwise arithmetic."""
+        rng = np.random.default_rng(7)
+        recording = RecordingOps()
+        n = 6
+        state = random_state(n, rng)
+        kernels.apply_single_qubit(state, n, random_unitary(2, rng), 4, ops=recording)
+        kernels.apply_controlled(state, n, random_unitary(2, rng), [1], 5, ops=recording)
+        kernels.apply_two_qubit(state, n, random_unitary(4, rng), 5, 4, ops=recording)
+        kernels.apply_swap(state, n, 0, 3, ops=recording)
+        assert recording.calls["multiply"] > 0
+        assert recording.calls["add"] > 0
+        assert recording.calls["scratch"] > 0
+
+    def test_explicit_ops_matches_registry_default(self):
+        """Passing ops explicitly is bit-identical to registry resolution."""
+        rng = np.random.default_rng(8)
+        n = 7
+        u = random_unitary(2, rng)
+        base = random_state(n, rng)
+        via_default = base.copy()
+        via_explicit = base.copy()
+        for q in range(n):
+            kernels.apply_single_qubit(via_default, n, u, q)
+            kernels.apply_single_qubit(via_explicit, n, u, q, ops=NumpyOps())
+        np.testing.assert_array_equal(via_default, via_explicit)
+
+
+class TestKernelDenseFallbackAgreement:
+    """Every kernel regime vs the moveaxis+matmul fallback, to 1e-12."""
+
+    @pytest.mark.parametrize("qubit", range(8))
+    def test_single_qubit_all_regimes(self, qubit):
+        # qubit 0-3 hits the packed-kron path, middle qubits the strided
+        # path, high qubits the per-block matmul tier
+        rng = np.random.default_rng(100 + qubit)
+        n = 8
+        u = random_unitary(2, rng)
+        state = random_state(n, rng)
+        fast = state.copy()
+        kernels.apply_single_qubit(fast, n, u, qubit)
+        ref = kernels.dense_apply(state.copy(), n, u, (qubit,))
+        np.testing.assert_allclose(fast, ref, atol=ATOL, rtol=0)
+
+    def test_single_qubit_x_special_case_is_exact(self):
+        rng = np.random.default_rng(110)
+        n = 8
+        state = random_state(n, rng)
+        fast = state.copy()
+        kernels.apply_single_qubit(fast, n, gates.X, 6)
+        ref = kernels.dense_apply(state.copy(), n, gates.X, (6,))
+        np.testing.assert_array_equal(fast, ref)
+
+    @pytest.mark.parametrize("targets", [(7, 5), (5, 7), (2, 6)])
+    def test_two_qubit_sparse(self, targets):
+        rng = np.random.default_rng(120)
+        n = 8
+        u = np.eye(4, dtype=complex)
+        u[2:, 2:] = random_unitary(2, rng)  # controlled-rotation shape, 6 nonzeros
+        state = random_state(n, rng)
+        fast = state.copy()
+        kernels.apply_two_qubit(fast, n, u, *targets)
+        ref = kernels.dense_apply(state.copy(), n, u, targets)
+        np.testing.assert_allclose(fast, ref, atol=ATOL, rtol=0)
+
+    @pytest.mark.parametrize("targets", [(0, 1), (3, 6), (7, 2)])
+    def test_two_qubit_dense_goes_through_fallback(self, targets):
+        rng = np.random.default_rng(130)
+        n = 8
+        u = random_unitary(4, rng)
+        state = random_state(n, rng)
+        fast = state.copy()
+        kernels.apply_two_qubit(fast, n, u, *targets)
+        ref = kernels.dense_apply(state.copy(), n, u, targets)
+        np.testing.assert_allclose(fast, ref, atol=ATOL, rtol=0)
+
+    @pytest.mark.parametrize("controls", [(4,), (4, 6), (1, 4, 6)])
+    def test_controlled(self, controls):
+        rng = np.random.default_rng(140 + len(controls))
+        n = 8
+        u = random_unitary(2, rng)
+        state = random_state(n, rng)
+        fast = state.copy()
+        kernels.apply_controlled(fast, n, u, list(controls), 7)
+        dim = 1 << (len(controls) + 1)
+        full = np.eye(dim, dtype=complex)
+        full[-2:, -2:] = u
+        ref = kernels.dense_apply(state.copy(), n, full, (*controls, 7))
+        np.testing.assert_allclose(fast, ref, atol=ATOL, rtol=0)
+
+    def test_controlled_x_is_exact(self):
+        rng = np.random.default_rng(150)
+        n = 8
+        state = random_state(n, rng)
+        fast = state.copy()
+        kernels.apply_controlled(fast, n, gates.X, [2, 5], 7)
+        full = np.eye(8, dtype=complex)
+        full[6:, 6:] = gates.X
+        ref = kernels.dense_apply(state.copy(), n, full, (2, 5, 7))
+        np.testing.assert_array_equal(fast, ref)
+
+    @pytest.mark.parametrize("phase", [1.0, 1j])
+    def test_swap_is_exact(self, phase):
+        rng = np.random.default_rng(160)
+        n = 8
+        state = random_state(n, rng)
+        fast = state.copy()
+        kernels.apply_swap(fast, n, 2, 6, phase=phase)
+        matrix = np.eye(4, dtype=complex)
+        matrix[1, 1] = matrix[2, 2] = 0
+        matrix[1, 2] = matrix[2, 1] = phase
+        ref = kernels.dense_apply(state.copy(), n, matrix, (2, 6))
+        np.testing.assert_array_equal(fast, ref)
+
+    def test_random_instruction_stream(self):
+        """Property sweep: a whole random circuit through the dispatcher vs
+        the dense fallback, gate by gate."""
+        rng = np.random.default_rng(170)
+        n = 8
+        qc = noisy_circuit(n, 120, rng)
+        fast = np.zeros(2**n, dtype=complex)
+        fast[0] = 1.0
+        ref = fast.copy()
+        from repro.qsim import Statevector
+        from repro.qsim.instruction import Measure
+
+        fast_state = Statevector(fast)
+        for instr in qc.data:
+            if isinstance(instr.operation, Measure):
+                continue
+            targets = [qc.qubit_index(q) for q in instr.qubits]
+            handled = kernels.apply_instruction(fast_state, instr.operation, targets)
+            assert handled, f"{instr.operation.name} missed every fast path"
+            ref = kernels.dense_apply(
+                ref, n, np.asarray(instr.operation.to_matrix(), dtype=complex), tuple(targets)
+            )
+        np.testing.assert_allclose(fast_state.data, ref, atol=1e-10, rtol=0)
+
+
+class TestDiagonalKernel:
+    def _per_entry_reference(self, state, n, diag, targets):
+        """The full-state diagonal factor, built index by index (exact)."""
+        k = len(targets)
+        factor = np.empty(2**n, dtype=complex)
+        for i in range(2**n):
+            value = 0
+            for position, target in enumerate(targets):
+                value |= ((i >> target) & 1) << (k - 1 - position)
+            factor[i] = diag[value]
+        return state * factor
+
+    def test_sparse_branch_is_exact(self):
+        rng = np.random.default_rng(200)
+        n = 8
+        diag = np.ones(8, dtype=complex)
+        diag[7] = np.exp(1j * 0.7)  # ccz-like: one non-unit entry
+        targets = (6, 3, 1)
+        state = random_state(n, rng)
+        fast = state.copy()
+        kernels.apply_diagonal(fast, n, diag, targets)
+        np.testing.assert_array_equal(
+            fast, self._per_entry_reference(state, n, diag, targets)
+        )
+
+    @pytest.mark.parametrize("targets", [(6, 3, 1), (1, 3, 6), (0, 7, 4)])
+    def test_dense_branch_is_exact(self, targets):
+        """The vectorized dense-diagonal branch (the apply_diagonal bugfix)
+        must stay bit-identical to per-entry multiplication for every
+        target-axis permutation."""
+        rng = np.random.default_rng(210)
+        n = 8
+        diag = np.exp(1j * rng.normal(size=8))  # all 8 entries non-unit
+        assert np.count_nonzero(diag != 1) > kernels._DIAG_DENSE_MIN_ENTRIES
+        state = random_state(n, rng)
+        fast = state.copy()
+        kernels.apply_diagonal(fast, n, diag, targets)
+        np.testing.assert_array_equal(
+            fast, self._per_entry_reference(state, n, diag, targets)
+        )
+
+    def test_dense_branch_threshold(self):
+        """Exactly at the boundary (4 non-unit of 8) the sparse path runs;
+        both sides of the gate agree bitwise anyway."""
+        rng = np.random.default_rng(220)
+        n = 8
+        diag = np.ones(8, dtype=complex)
+        diag[:4] = np.exp(1j * rng.normal(size=4))
+        targets = (5, 2, 0)
+        state = random_state(n, rng)
+        fast = state.copy()
+        kernels.apply_diagonal(fast, n, diag, targets)
+        np.testing.assert_array_equal(
+            fast, self._per_entry_reference(state, n, diag, targets)
+        )
+
+
+# ---------------------------------------------------------------------------
+# Batched noisy shots
+# ---------------------------------------------------------------------------
+
+
+class _NonPauliNoise(NoiseModel):
+    def apply(self, state, targets, rng):  # pragma: no cover - never sampled
+        pass
+
+    def pauli_terms(self):
+        return None
+
+
+class TestEligibility:
+    def test_eligible_circuit(self):
+        qc = noisy_circuit(4, 10, np.random.default_rng(0))
+        assert shotbatch.ineligible_reason(qc, DepolarizingNoise(0.01)) is None
+
+    def test_zero_qubits(self):
+        qc = QuantumCircuit(0)
+        assert "no qubits" in shotbatch.ineligible_reason(qc, None)
+
+    def test_non_pauli_noise(self):
+        qc = noisy_circuit(3, 5, np.random.default_rng(1))
+        reason = shotbatch.ineligible_reason(qc, _NonPauliNoise())
+        assert "not a single-qubit Pauli channel" in reason
+
+    def test_mid_circuit_measurement(self):
+        qc = QuantumCircuit(2, 2)
+        qc.h(0)
+        qc.measure(0, 0)
+        qc.x(0)
+        qc.measure(1, 1)
+        reason = shotbatch.ineligible_reason(qc, BitFlipNoise(0.1))
+        assert "mid-circuit" in reason
+
+    def test_reset_requires_collapse(self):
+        qc = QuantumCircuit(2, 2)
+        qc.h(0)
+        qc.reset(0)
+        qc.measure_all()
+        reason = shotbatch.ineligible_reason(qc, BitFlipNoise(0.1))
+        assert "per-shot collapse" in reason
+
+    def test_fused_blocks_under_noise(self):
+        qc = QuantumCircuit(3)
+        for _ in range(4):
+            qc.h(0)
+            qc.cx(0, 1)
+        fused = fuse_gates(qc)
+        reason = shotbatch.ineligible_reason(fused, PhaseFlipNoise(0.1))
+        assert "fused" in reason
+        # without noise the fused run is batchable
+        assert shotbatch.ineligible_reason(fused, None) is None
+
+    def test_wide_gate(self):
+        n = 7
+        qc = QuantumCircuit(n)
+        qc.append(UnitaryGate(np.eye(2**n, dtype=complex)), list(range(n)))
+        qc.measure_all()
+        reason = shotbatch.ineligible_reason(qc, BitFlipNoise(0.1))
+        assert "batched limit" in reason
+
+
+class TestBatchedExecutor:
+    @pytest.mark.parametrize("batch_size", [1, 7, 64, 500])
+    def test_batch_split_invariance(self, batch_size):
+        """Counts and memory are bit-identical for every batch split."""
+        rng = np.random.default_rng(42)
+        qc = noisy_circuit(8, 40, rng)
+        noise = DepolarizingNoise(0.02)
+        reference = shotbatch.run_batched(qc, noise, shots=500, seed=9, memory=True, batch_size=1)
+        result = shotbatch.run_batched(
+            qc, noise, shots=500, seed=9, memory=True, batch_size=batch_size
+        )
+        assert result.counts == reference.counts
+        assert result.memory == reference.memory
+
+    def test_ineligible_raises(self):
+        qc = QuantumCircuit(2, 2)
+        qc.h(0)
+        qc.measure(0, 0)
+        qc.x(0)
+        qc.measure(1, 1)
+        with pytest.raises(SimulationError, match="not batchable"):
+            shotbatch.run_batched(qc, BitFlipNoise(0.1), shots=10, seed=0)
+
+    def test_no_measurements_gives_empty_counts(self):
+        qc = QuantumCircuit(3)
+        qc.h(0)
+        result = shotbatch.run_batched(qc, BitFlipNoise(0.1), shots=10, seed=0)
+        assert result.counts == {}
+
+    def test_default_batch_size_is_cache_sized(self):
+        # the default targets a cache-resident working set, not the memory cap
+        assert shotbatch.default_batch_size(12, 2000) == 16
+        assert shotbatch.default_batch_size(8, 2000) == 256
+        assert shotbatch.default_batch_size(23, 64) == 1
+        assert shotbatch.default_batch_size(30, 1000) == 1
+        # never more rows than shots
+        assert shotbatch.default_batch_size(4, 10) == 10
+        big = shotbatch.default_batch_size(14, 10**6)
+        assert big * (1 << 14) <= shotbatch.MAX_BATCH_AMPLITUDES
+
+    def test_noise_statistics_match_legacy_trajectories(self):
+        """Distribution sanity: batched depolarizing on a Bell pair agrees
+        with the legacy per-shot loop to a small total-variation distance."""
+        qc = QuantumCircuit(2, 2)
+        qc.h(0)
+        qc.cx(0, 1)
+        qc.measure_all()
+        noise = DepolarizingNoise(0.1)
+        shots = 4000
+        batched = shotbatch.run_batched(qc, noise, shots=shots, seed=3)
+        legacy = StatevectorBackend(
+            noise_model=DepolarizingNoise(0.1), shot_batching="per_shot", seed=3
+        )
+        from repro.qsim.simulator import StatevectorSimulator
+
+        sim = StatevectorSimulator(seed=3, noise_model=noise)
+        loop = sim.run(qc, shots=shots)
+        keys = set(batched.counts) | set(loop.counts)
+        tvd = 0.5 * sum(
+            abs(batched.counts.get(k, 0) - loop.counts.get(k, 0)) / shots for k in keys
+        )
+        assert tvd < 0.05
+        assert legacy.shot_batching == "per_shot"
+
+
+class TestShotBatchingModes:
+    @pytest.mark.parametrize("num_qubits,shots", [(8, 400), (10, 300), (12, 200), (14, 100)])
+    def test_batched_and_per_shot_counts_bit_equal(self, num_qubits, shots):
+        """Same seed, same counts and memory, 8-14 qubits (the ISSUE's
+        acceptance property)."""
+        rng = np.random.default_rng(1000 + num_qubits)
+        qc = noisy_circuit(num_qubits, 3 * num_qubits, rng)
+        results = {}
+        for mode in ("batched", "per_shot"):
+            backend = StatevectorBackend(
+                noise_model=DepolarizingNoise(0.02), shot_batching=mode, fusion=False
+            )
+            results[mode] = backend.run(qc, shots=shots, seed=77, memory=True).result()
+        assert results["batched"].get_counts() == results["per_shot"].get_counts()
+        assert results["batched"].get_memory() == results["per_shot"].get_memory()
+        assert results["batched"][0].metadata["method"] == "batched_shots"
+        assert results["per_shot"][0].metadata["method"] == "per_shot_trajectory"
+        assert results["batched"][0].metadata["batch_size"] > 1
+        assert results["per_shot"][0].metadata["batch_size"] == 1
+
+    @pytest.mark.parametrize("noise_cls", [BitFlipNoise, PhaseFlipNoise, DepolarizingNoise])
+    def test_every_pauli_channel(self, noise_cls):
+        qc = noisy_circuit(8, 24, np.random.default_rng(55))
+        results = []
+        for mode in ("batched", "per_shot"):
+            backend = StatevectorBackend(
+                noise_model=noise_cls(0.05), shot_batching=mode, fusion=False
+            )
+            results.append(backend.run(qc, shots=300, seed=5).result().get_counts())
+        assert results[0] == results[1]
+
+    def test_auto_picks_batched_when_eligible(self):
+        qc = noisy_circuit(6, 12, np.random.default_rng(60))
+        backend = StatevectorBackend(noise_model=BitFlipNoise(0.05), fusion=False)
+        assert backend.shot_batching == "auto"
+        result = backend.run(qc, shots=100, seed=1).result()
+        assert result[0].metadata["method"] == "batched_shots"
+
+    def test_auto_falls_back_on_ineligible(self):
+        qc = QuantumCircuit(2, 2)
+        qc.h(0)
+        qc.measure(0, 0)
+        qc.x(0)
+        qc.measure(1, 1)
+        assert shotbatch.ineligible_reason(qc, BitFlipNoise(0.05)) is not None
+        backend = StatevectorBackend(noise_model=BitFlipNoise(0.05), fusion=False)
+        result = backend.run(qc, shots=50, seed=2).result()
+        assert sum(result.get_counts().values()) == 50
+
+    def test_forced_batched_rejects_ineligible(self):
+        qc = QuantumCircuit(2, 2)
+        qc.h(0)
+        qc.measure(0, 0)
+        qc.x(0)
+        qc.measure(1, 1)
+        backend = StatevectorBackend(
+            noise_model=BitFlipNoise(0.05), shot_batching="batched", fusion=False
+        )
+        job = backend.run(qc, shots=50, seed=2)
+        with pytest.raises(BackendError, match="mid-circuit"):
+            job.result()
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(BackendError, match="unknown shot_batching mode"):
+            StatevectorBackend(shot_batching="warp")
+
+    def test_noiseless_runs_stay_on_sampled_path(self):
+        """Without a noise model the trajectory executor never engages."""
+        qc = noisy_circuit(5, 10, np.random.default_rng(70))
+        backend = StatevectorBackend(shot_batching="batched")
+        result = backend.run(qc, shots=200, seed=4).result()
+        assert sum(result.get_counts().values()) == 200
+        assert result[0].metadata.get("method") not in (
+            "batched_shots",
+            "per_shot_trajectory",
+        )
+
+
+# ---------------------------------------------------------------------------
+# Backend.run is keyword-only (API satellite)
+# ---------------------------------------------------------------------------
+
+
+class TestRunSignature:
+    @pytest.mark.parametrize("backend_cls", [StatevectorBackend, DensityMatrixBackend])
+    def test_positional_options_rejected(self, backend_cls):
+        qc = QuantumCircuit(1, 1)
+        qc.h(0)
+        qc.measure(0, 0)
+        backend = backend_cls(seed=0)
+        with pytest.raises(TypeError, match="keywords"):
+            backend.run(qc, 100)
+
+    def test_error_names_the_fix(self):
+        qc = QuantumCircuit(1, 1)
+        qc.measure(0, 0)
+        with pytest.raises(TypeError, match=r"run\(circuit, shots=2000, seed=7\)"):
+            StatevectorBackend(seed=0).run(qc, 128, 7)
+
+    def test_keyword_form_works_everywhere(self):
+        qc = QuantumCircuit(2, 2)
+        qc.h(0)
+        qc.cx(0, 1)
+        qc.measure_all()
+        for backend in (StatevectorBackend(seed=1), DensityMatrixBackend(seed=1)):
+            counts = backend.run(qc, shots=64, seed=3, memory=False).result().get_counts()
+            assert sum(counts.values()) == 64
+
+    def test_shot_workers_keyword_is_forwarded(self):
+        qc = QuantumCircuit(2, 2)
+        qc.h(0)
+        qc.measure(0, 0)
+        qc.x(1)
+        qc.measure(1, 1)
+        backend = StatevectorBackend(seed=5)
+        plain = backend.run(qc, shots=64, seed=11).result().get_counts()
+        chunked = backend.run(qc, shots=64, seed=11, shot_workers=2).result().get_counts()
+        assert sum(chunked.values()) == 64
+        assert plain == chunked
