@@ -25,7 +25,13 @@ from .qsim.backends import NOISE_CHANNELS, build_noisy_backend, resolve_backend
 from .qsim.exceptions import BackendError, CircuitError, QasmError, SimulationError
 from .qsim.qasm import from_qasm_file, to_qasm
 
-__all__ = ["main", "build_arg_parser", "build_service_parser", "SERVICE_VERBS"]
+__all__ = [
+    "main",
+    "build_arg_parser",
+    "build_service_parser",
+    "build_lint_parser",
+    "SERVICE_VERBS",
+]
 
 #: first-positional-argument verbs that dispatch to the execution service
 SERVICE_VERBS = (
@@ -49,7 +55,9 @@ def build_arg_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="qutes",
         description="Run a Qutes program on the bundled simulation backends.",
-        epilog="Service verbs (durable job queue; see docs/service.md): "
+        epilog="Extra verbs: `qutes lint FILE...` statically analyzes circuits "
+        "without running them (docs/analysis.md); service verbs (durable job "
+        "queue; see docs/service.md): "
         + " / ".join(SERVICE_VERBS)
         + ".  Run `qutes <verb> --help` for their options.",
     )
@@ -99,6 +107,17 @@ def build_arg_parser() -> argparse.ArgumentParser:
         choices=sorted(NOISE_CHANNELS),
         help="noise channel used with --noise (default: depolarizing)",
     )
+    parser.add_argument(
+        "--lint",
+        nargs="?",
+        const="error",
+        default=None,
+        choices=("error", "warn"),
+        metavar="SEVERITY",
+        help="statically analyze the --from-qasm circuit before running and "
+        "abort when findings reach SEVERITY ('error' when the flag is bare, "
+        "or 'warn'); see docs/analysis.md",
+    )
     parser.add_argument("--show-circuit", action="store_true", help="print the logged circuit")
     parser.add_argument("--qasm", action="store_true", help="print the OpenQASM 2.0 export")
     parser.add_argument("--show-variables", action="store_true", help="print final global variables")
@@ -133,6 +152,12 @@ def build_service_parser() -> argparse.ArgumentParser:
     submit.add_argument("--noise-model", default="depolarizing", choices=sorted(NOISE_CHANNELS))
     submit.add_argument(
         "--max-attempts", type=int, default=3, help="retry budget before FAILED"
+    )
+    submit.add_argument(
+        "--no-lint",
+        action="store_true",
+        help="skip submit-time static analysis (jobs queue unvalidated and "
+        "no diagnostics artifact is stored)",
     )
 
     status = verbs.add_parser("status", help="print a job's lifecycle state")
@@ -212,6 +237,115 @@ def build_service_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_lint_parser() -> argparse.ArgumentParser:
+    """Argument parser for the ``lint`` verb (exposed separately for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="qutes lint",
+        description="Statically analyze OpenQASM 2.0 circuit files without "
+        "running them; see docs/analysis.md for the diagnostic catalogue.",
+    )
+    parser.add_argument("files", nargs="+", metavar="FILE", help="OpenQASM 2.0 circuit files")
+    parser.add_argument(
+        "--backend",
+        default=None,
+        metavar="NAME",
+        help="also check backend compatibility (Clifford-only restriction, "
+        "state-memory budget) against NAME",
+    )
+    parser.add_argument("--shots", type=int, default=None, help="shot count to validate")
+    parser.add_argument(
+        "--noise", type=float, default=None, metavar="P", help="noise probability to validate"
+    )
+    parser.add_argument(
+        "--noise-model",
+        default=None,
+        help="noise channel to validate with --noise (default: depolarizing)",
+    )
+    parser.add_argument(
+        "--min-severity",
+        default="info",
+        choices=("info", "warn", "warning", "error"),
+        help="hide findings below this severity (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--format",
+        dest="fmt",
+        default="text",
+        choices=("text", "json"),
+        help="output format (default: %(default)s)",
+    )
+    return parser
+
+
+def _parse_error_report(path: str, exc: QasmError):
+    """An :class:`AnalysisReport` carrying a single ``QA001`` for *exc*."""
+    from .qsim.analysis import AnalysisReport, Diagnostic, Severity
+    from .qsim.circuit import SourceSpan
+
+    span = None
+    message = str(exc)
+    if exc.line is not None:
+        span = SourceSpan(exc.line, exc.column or 1, path)
+        # QasmError prefixes its message with the position; the span already
+        # carries it, so strip the prefix instead of printing it twice
+        prefix = f"line {exc.line}, column {exc.column}: "
+        if message.startswith(prefix):
+            message = message[len(prefix):]
+    diagnostic = Diagnostic(
+        "QA001",
+        Severity.ERROR,
+        f"cannot parse: {message}",
+        span=span,
+        source="parser",
+    )
+    return AnalysisReport(path, [diagnostic])
+
+
+def _lint_main(argv: List[str]) -> int:
+    """The ``lint`` verb: analyze files, report findings, exit non-zero on errors."""
+    import json
+
+    from .qsim.analysis import AnalysisTarget, Severity, analyze
+
+    args = build_lint_parser().parse_args(argv)
+    min_severity = Severity.parse(args.min_severity)
+    target = None
+    if args.backend is not None or args.noise is not None or args.shots is not None:
+        target = AnalysisTarget(
+            backend=args.backend,
+            shots=args.shots,
+            noise_p=args.noise,
+            noise_channel=(args.noise_model or "depolarizing")
+            if args.noise is not None
+            else None,
+        )
+    reports = []
+    for path in args.files:
+        try:
+            circuit = from_qasm_file(path)
+        except FileNotFoundError:
+            print(f"error: no such file: {path}", file=sys.stderr)
+            return 2
+        except OSError as exc:
+            print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+            return 2
+        except UnicodeDecodeError:
+            print(f"error: {path} is not a UTF-8 text file", file=sys.stderr)
+            return 2
+        except QasmError as exc:
+            reports.append(_parse_error_report(path, exc))
+            continue
+        reports.append(analyze(circuit, target))
+    if args.fmt == "json":
+        print(json.dumps([report.to_dict() for report in reports], indent=2))
+    else:
+        for report in reports:
+            text = report.format(min_severity=min_severity)
+            if text:
+                print(text)
+    return 1 if any(report.has_errors for report in reports) else 0
+
+
 def _service_submit(args: argparse.Namespace) -> int:
     from .qsim.service import BatchPayload, JobStore
 
@@ -228,7 +362,8 @@ def _service_submit(args: argparse.Namespace) -> int:
         except QasmError as exc:
             print(f"error: {path}: {exc}", file=sys.stderr)
             return 1
-    from .qsim.service import ServiceError
+    from .qsim.service import ServiceError, submit_payload
+    from .qsim.service.validation import analysis_target
 
     try:
         payload = BatchPayload.from_circuits(
@@ -239,12 +374,37 @@ def _service_submit(args: argparse.Namespace) -> int:
             noise_p=args.noise,
             noise_channel=args.noise_model,
         )
+        reports = None
+        if not args.no_lint:
+            # analyze the circuits as imported (not the payload's QASM
+            # round-trip) so spans point at the user's files
+            from .qsim.analysis import Severity, analyze
+
+            target = analysis_target(payload)
+            reports = [analyze(circuit, target) for circuit in circuits]
+            for report in reports:
+                findings = report.format(min_severity=Severity.WARNING)
+                if findings:
+                    print(findings, file=sys.stderr)
         with JobStore(args.db) as store:
-            job_id = store.submit(payload.to_json(), max_attempts=args.max_attempts)
+            job_id, _, rejected = submit_payload(
+                store,
+                payload,
+                max_attempts=args.max_attempts,
+                reports=reports,
+                validate=not args.no_lint,
+            )
     except (CircuitError, BackendError, SimulationError, ServiceError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     print(job_id)
+    if rejected:
+        print(
+            f"error: job {job_id} rejected by static analysis (see findings "
+            "above; --no-lint submits anyway)",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -295,6 +455,19 @@ def _service_other(args: argparse.Namespace) -> int:
                 if record.worker_id:
                     line += f" worker={record.worker_id}"
                 print(line)
+                if record.diagnostics:
+                    from .qsim.analysis import AnalysisReport
+
+                    reports = [
+                        AnalysisReport.from_dict(entry)
+                        for entry in record.diagnostics_dict()["reports"]
+                    ]
+                    errors = sum(len(r.errors) for r in reports)
+                    warnings = sum(len(r.warnings) for r in reports)
+                    print(
+                        f"diagnostics: {errors} error(s), {warnings} warning(s) "
+                        f"across {len(reports)} circuit(s)"
+                    )
                 if record.state == "FAILED" and record.error:
                     print(record.error.rstrip().splitlines()[-1], file=sys.stderr)
                 return 0
@@ -408,6 +581,29 @@ def _run_qasm_file(args: argparse.Namespace) -> int:
         # mirror what hardware toolchains do with measurement-free circuits:
         # sample every qubit at the end instead of returning nothing
         circuit.measure_all()
+    if args.lint is not None:
+        # analyze the exact circuit about to run (after measure-all
+        # normalization) against the run config the flags describe
+        from .qsim.analysis import AnalysisTarget, Severity, analyze
+
+        target = AnalysisTarget(
+            backend=args.backend,
+            shots=args.shots,
+            noise_p=args.noise,
+            noise_channel=args.noise_model if args.noise is not None else None,
+        )
+        report = analyze(circuit, target)
+        threshold = Severity.parse(args.lint)
+        findings = report.format(min_severity=Severity.WARNING)
+        if findings:
+            print(findings, file=sys.stderr)
+        if report.at_least(threshold):
+            print(
+                f"error: {args.from_qasm} failed static analysis at severity "
+                f"{threshold.label!r}; drop --lint to run anyway",
+                file=sys.stderr,
+            )
+            return 1
     try:
         if args.noise is not None:
             backend = build_noisy_backend(args.backend, args.noise, args.noise_model, args.seed)
@@ -444,6 +640,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 def _main(argv: Optional[List[str]] = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
+    if argv and argv[0] == "lint":
+        return _lint_main(list(argv[1:]))
     if argv and argv[0] in SERVICE_VERBS:
         return _service_main(list(argv))
     parser = build_arg_parser()
@@ -455,6 +653,17 @@ def _main(argv: Optional[List[str]] = None) -> int:
             set_default_ops(args.array_ops)
         except SimulationError as exc:
             print(f"error: {exc}", file=sys.stderr)
+            return 1
+    elif os.environ.get("QSIM_ARRAY_OPS"):
+        # validate the environment selection eagerly too, so a typo in
+        # $QSIM_ARRAY_OPS fails here with the registered names instead of
+        # deep inside the first kernel call
+        from .qsim.ops import get_ops
+
+        try:
+            get_ops()
+        except SimulationError as exc:
+            print(f"error: $QSIM_ARRAY_OPS: {exc}", file=sys.stderr)
             return 1
     if args.list_backends:
         from .qsim.backends import list_backends
@@ -470,6 +679,8 @@ def _main(argv: Optional[List[str]] = None) -> int:
         if args.show_variables:
             parser.error("--show-variables applies to Qutes programs, not --from-qasm input")
         return _run_qasm_file(args)
+    if args.lint is not None:
+        parser.error("--lint applies to --from-qasm input (use `qutes lint FILE...` standalone)")
     if args.program is None:
         parser.error("the program argument is required (or use --list-backends / --from-qasm)")
     if args.ast:

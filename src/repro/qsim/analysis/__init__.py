@@ -1,0 +1,52 @@
+"""Static circuit analysis: registry-based passes, structured diagnostics.
+
+The analyzer walks the circuit IR — no amplitudes, no engines — and turns
+latent execution-time failures into structured, source-located
+:class:`Diagnostic` objects *before* any state is allocated::
+
+    from repro.qsim.analysis import AnalysisTarget, analyze
+
+    report = analyze(circuit, AnalysisTarget(backend="stabilizer"))
+    for diagnostic in report.errors:
+        print(diagnostic.format())     # file:line:col: error[QA401]: ...
+
+Three front doors consume it:
+
+* the CLI's ``lint`` verb and ``--lint`` run-path flag,
+* the execution service, which validates every payload at submit time and
+  persists the reports as a job artifact (error severity rejects the job
+  before any worker claims it),
+* the transpiler, whose metric helpers delegate to
+  :func:`estimate_resources`.
+
+New passes join via :func:`register_pass`; the code catalogue lives in
+:data:`~repro.qsim.analysis.diagnostics.DIAGNOSTIC_CODES` and the guide in
+``docs/analysis.md``.
+"""
+
+from .diagnostics import DIAGNOSTIC_CODES, Diagnostic, Severity
+from .passes import (
+    DEFAULT_MEMORY_BUDGET_BYTES,
+    AnalysisContext,
+    AnalysisReport,
+    AnalysisTarget,
+    analyze,
+    available_passes,
+    register_pass,
+)
+from .resources import ResourceEstimate, estimate_resources
+
+__all__ = [
+    "AnalysisContext",
+    "AnalysisReport",
+    "AnalysisTarget",
+    "DEFAULT_MEMORY_BUDGET_BYTES",
+    "DIAGNOSTIC_CODES",
+    "Diagnostic",
+    "ResourceEstimate",
+    "Severity",
+    "analyze",
+    "available_passes",
+    "estimate_resources",
+    "register_pass",
+]

@@ -15,7 +15,7 @@ from ..exceptions import BackendError
 from .backend import Backend
 from .engines import DensityMatrixBackend, StabilizerBackend, StatevectorBackend
 
-__all__ = ["register_backend", "get_backend", "list_backends"]
+__all__ = ["register_backend", "get_backend", "list_backends", "resolve_backend_name"]
 
 _REGISTRY: Dict[str, Callable[..., Backend]] = {}
 _ALIASES: Dict[str, str] = {}
@@ -42,6 +42,25 @@ def register_backend(
         if not overwrite and (alias_key in _REGISTRY or alias_key in _ALIASES):
             raise BackendError(f"backend alias {alias!r} is already registered")
         _ALIASES[alias_key] = key
+
+
+def resolve_backend_name(name: str) -> str:
+    """Canonical registry name for *name* (which may be an alias).
+
+    Raises the same alias-listing :class:`BackendError` as
+    :func:`get_backend`, but without instantiating anything — this is what
+    the static analyzer and the service's submit-time validation use to
+    reject typo'd backend names before any work happens.
+    """
+    key = name.lower()
+    key = _ALIASES.get(key, key)
+    if key not in _REGISTRY:
+        aliases = ", ".join(sorted(_ALIASES))
+        raise BackendError(
+            f"unknown backend {name!r}; available: {', '.join(list_backends())}"
+            + (f" (aliases: {aliases})" if aliases else "")
+        )
+    return key
 
 
 def get_backend(name: str, **options) -> Backend:

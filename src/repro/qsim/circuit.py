@@ -10,7 +10,7 @@ simple metrics (depth, gate counts).
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict, Iterable, List, Optional, Sequence, Union
+from typing import Dict, Iterable, List, NamedTuple, Optional, Sequence, Union
 
 import numpy as np
 
@@ -30,26 +30,48 @@ from .instruction import (
 )
 from .registers import ClassicalRegister, Clbit, QuantumRegister, Qubit
 
-__all__ = ["QuantumCircuit", "CircuitInstruction"]
+__all__ = ["QuantumCircuit", "CircuitInstruction", "SourceSpan"]
 
 QubitSpec = Union[Qubit, int]
 ClbitSpec = Union[Clbit, int]
 
 
+class SourceSpan(NamedTuple):
+    """Where an instruction (or register declaration) came from in a source text.
+
+    ``line`` and ``column`` are 1-based, matching the positions
+    :class:`~repro.qsim.exceptions.QasmError` reports; ``source`` is the
+    file path (or ``None`` for circuits parsed from a string).  The QASM
+    importer stamps one of these on every instruction it appends, which is
+    how analyzer diagnostics point back at ``file:line:col``.
+    """
+
+    line: int
+    column: int
+    source: Optional[str] = None
+
+    def location(self) -> str:
+        """``source:line:column`` (``line:column`` when the source is unnamed)."""
+        prefix = f"{self.source}:" if self.source else ""
+        return f"{prefix}{self.line}:{self.column}"
+
+
 class CircuitInstruction:
     """An :class:`Instruction` bound to concrete qubits and classical bits."""
 
-    __slots__ = ("operation", "qubits", "clbits")
+    __slots__ = ("operation", "qubits", "clbits", "span")
 
     def __init__(
         self,
         operation: Instruction,
         qubits: Sequence[Qubit],
         clbits: Sequence[Clbit] = (),
+        span: Optional[SourceSpan] = None,
     ):
         self.operation = operation
         self.qubits = tuple(qubits)
         self.clbits = tuple(clbits)
+        self.span = span
 
     def __repr__(self) -> str:
         return (
@@ -78,6 +100,10 @@ class QuantumCircuit:
         self._qubit_index: Dict[Qubit, int] = {}
         self._clbit_index: Dict[Clbit, int] = {}
         self.data: List[CircuitInstruction] = []
+        #: register -> declaration :class:`SourceSpan`, filled by the QASM
+        #: importer so analyzer diagnostics about whole registers (unused
+        #: qubits, never-written clbits) can point at the qreg/creg line
+        self.register_spans: Dict[object, SourceSpan] = {}
 
         int_args = [r for r in regs if isinstance(r, int)]
         if int_args:
@@ -190,6 +216,7 @@ class QuantumCircuit:
         operation: Instruction,
         qubits: Sequence[QubitSpec],
         clbits: Sequence[ClbitSpec] = (),
+        span: Optional[SourceSpan] = None,
     ) -> "QuantumCircuit":
         """Append *operation* acting on the given qubits / classical bits."""
         qubits = self._resolve_qubits(qubits)
@@ -204,7 +231,7 @@ class QuantumCircuit:
             raise CircuitError(
                 f"{operation.name!r} expects {operation.num_clbits} clbits, got {len(clbits)}"
             )
-        self.data.append(CircuitInstruction(operation, qubits, clbits))
+        self.data.append(CircuitInstruction(operation, qubits, clbits, span=span))
         return self
 
     # -- single-qubit gates ---------------------------------------------------
@@ -434,7 +461,7 @@ class QuantumCircuit:
         for instr in other.data:
             mapped_q = [qubits[other.qubit_index(q)] for q in instr.qubits]
             mapped_c = [clbits[other.clbit_index(c)] for c in instr.clbits]
-            self.append(instr.operation.copy(), mapped_q, mapped_c)
+            self.append(instr.operation.copy(), mapped_q, mapped_c, span=instr.span)
         return self
 
     def inverse(self) -> "QuantumCircuit":
@@ -466,8 +493,9 @@ class QuantumCircuit:
             new.add_register(reg)
         for reg in self.cregs:
             new.add_register(reg)
+        new.register_spans = dict(self.register_spans)
         for instr in self.data:
-            new.append(instr.operation.copy(), instr.qubits, instr.clbits)
+            new.append(instr.operation.copy(), instr.qubits, instr.clbits, span=instr.span)
         return new
 
     def power(self, exponent: int) -> "QuantumCircuit":

@@ -243,7 +243,7 @@ class DensityMatrix:
         """Projectively measure *targets* and collapse the state."""
         targets = list(targets)
         if rng is None:
-            rng = np.random.default_rng()
+            rng = np.random.default_rng()  # invariant: allow -- explicit no-rng fallback
         probs = self.probabilities(targets)
         outcome = int(rng.choice(probs.size, p=probs))
         projector_diag = np.ones(2**self.num_qubits)

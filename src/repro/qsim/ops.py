@@ -257,33 +257,51 @@ class NumpyOps(ArrayOps):
 # ---------------------------------------------------------------------------
 
 _REGISTRY: Dict[str, Callable[[], ArrayOps]] = {}
+_ALIASES: Dict[str, str] = {}
 _INSTANCES: Dict[str, ArrayOps] = {}
 _DEFAULT_NAME: Optional[str] = None  # set_default_ops override
 _LOCK = threading.Lock()
 
 
-def register_ops(name: str, factory: Callable[[], ArrayOps], overwrite: bool = False) -> None:
+def register_ops(
+    name: str,
+    factory: Callable[[], ArrayOps],
+    aliases: Tuple[str, ...] = (),
+    overwrite: bool = False,
+) -> None:
     """Register *factory* (zero-argument callable returning an :class:`ArrayOps`).
 
     Accelerated modules plug in here and become selectable by name through
     :func:`get_ops`, the ``QSIM_ARRAY_OPS`` environment variable and the
     CLI's ``--array-ops`` flag -- without the gate code changing at all.
+    *aliases* are alternative selection names mapping onto the same backend
+    (``"np"`` for numpy), mirroring the backend registry's alias support.
     Registering an existing name requires ``overwrite=True`` so typos cannot
     silently shadow the numpy default.
     """
     key = name.lower()
     with _LOCK:
-        if not overwrite and key in _REGISTRY:
+        if not overwrite and (key in _REGISTRY or key in _ALIASES):
             raise SimulationError(
                 f"array-ops backend {name!r} is already registered (pass overwrite=True)"
             )
         _REGISTRY[key] = factory
         _INSTANCES.pop(key, None)
+        for alias in aliases:
+            alias_key = alias.lower()
+            if not overwrite and (alias_key in _REGISTRY or alias_key in _ALIASES):
+                raise SimulationError(
+                    f"array-ops alias {alias!r} is already registered"
+                )
+            _ALIASES[alias_key] = key
 
 
-def available_ops() -> List[str]:
+def available_ops(include_aliases: bool = False) -> List[str]:
     """Sorted names of every registered array-ops backend."""
-    return sorted(_REGISTRY)
+    names = sorted(_REGISTRY)
+    if include_aliases:
+        names += sorted(_ALIASES)
+    return names
 
 
 def set_default_ops(name: Optional[str]) -> None:
@@ -307,14 +325,17 @@ def active_ops_name() -> str:
 def _resolve(name: str) -> ArrayOps:
     key = name.lower()
     with _LOCK:
+        key = _ALIASES.get(key, key)
         instance = _INSTANCES.get(key)
         if instance is not None:
             return instance
         factory = _REGISTRY.get(key)
         if factory is None:
+            aliases = ", ".join(sorted(_ALIASES))
             raise SimulationError(
                 f"unknown array-ops backend {name!r}; available: "
-                f"{', '.join(available_ops())}"
+                f"{', '.join(sorted(_REGISTRY))}"
+                + (f" (aliases: {aliases})" if aliases else "")
             )
         instance = factory()
         if not isinstance(instance, ArrayOps):
@@ -343,4 +364,4 @@ def get_ops(name: Optional[str] = None) -> ArrayOps:
     return _resolve("numpy")
 
 
-register_ops(NumpyOps.name, NumpyOps)
+register_ops(NumpyOps.name, NumpyOps, aliases=("np",))

@@ -31,7 +31,7 @@ import os
 import re
 from typing import Callable, Dict, List, NamedTuple, Optional, Sequence, Tuple, Union
 
-from .circuit import QuantumCircuit
+from .circuit import QuantumCircuit, SourceSpan
 from .exceptions import CircuitError, QasmError
 from .instruction import Barrier, Gate, Initialize, Measure, Reset
 from .registers import ClassicalRegister, Clbit, QuantumRegister, Qubit
@@ -421,9 +421,10 @@ _EXPR_FUNCTIONS: Dict[str, Callable[[float], float]] = {
 class _QasmParser:
     """One-pass recursive-descent parser building a :class:`QuantumCircuit`."""
 
-    def __init__(self, source: str, name: str = "from_qasm"):
+    def __init__(self, source: str, name: str = "from_qasm", filename: Optional[str] = None):
         self._tokens = _tokenize(source)
         self._pos = 0
+        self._filename = filename
         self.circuit = QuantumCircuit(name=name)
         self._qregs: Dict[str, QuantumRegister] = {}
         self._cregs: Dict[str, ClassicalRegister] = {}
@@ -464,6 +465,10 @@ class _QasmParser:
         if token.type == "eof":
             return "end of file"
         return f"{token.value!r}"
+
+    def _span(self, loc: Tuple[int, int]) -> SourceSpan:
+        """The :class:`SourceSpan` for a ``(line, column)`` statement position."""
+        return SourceSpan(loc[0], loc[1], self._filename)
 
     # -- program ------------------------------------------------------------
 
@@ -571,6 +576,7 @@ class _QasmParser:
             register = ClassicalRegister(size.value, name.value)
             self._cregs[name.value] = register
         self.circuit.add_register(register)
+        self.circuit.register_spans[register] = self._span((kind.line, kind.column))
 
     # -- gate definitions ---------------------------------------------------
 
@@ -706,13 +712,15 @@ class _QasmParser:
                 f"({len(sources)} qubits vs {len(targets)} bits)",
                 keyword,
             )
+        span = self._span((keyword.line, keyword.column))
         for qubit, clbit in zip(sources, targets):
-            self.circuit.append(Measure(), [qubit], [clbit])
+            self.circuit.append(Measure(), [qubit], [clbit], span=span)
 
     def _parse_reset(self) -> None:
-        self._advance()
+        keyword = self._advance()
+        span = self._span((keyword.line, keyword.column))
         for qubit in self._parse_quantum_argument():
-            self.circuit.append(Reset(), [qubit])
+            self.circuit.append(Reset(), [qubit], span=span)
         self._expect(";")
 
     def _parse_barrier(self) -> None:
@@ -723,7 +731,9 @@ class _QasmParser:
             qubits.extend(self._parse_quantum_argument())
         self._expect(";")
         try:
-            self.circuit.append(Barrier(len(qubits)), qubits)
+            self.circuit.append(
+                Barrier(len(qubits)), qubits, span=self._span((keyword.line, keyword.column))
+            )
         except CircuitError as exc:
             raise QasmError(str(exc), keyword.line, keyword.column) from exc
 
@@ -803,14 +813,18 @@ class _QasmParser:
             for value in params:
                 if not math.isfinite(value):
                     raise QasmError(f"non-finite gate parameter {value}", *loc)
-            self.circuit.append(spec.build(params), list(qubits))
+            # macro expansions carry the *call-site* loc, so every expanded
+            # instruction of `mygate q;` points at that statement
+            self.circuit.append(spec.build(params), list(qubits), span=self._span(loc))
             return
         env = dict(zip(spec.params, params))
         binding = dict(zip(spec.qubits, qubits))
         for node in spec.body:
             if node[0] == "barrier":
                 _, names, _loc = node
-                self.circuit.append(Barrier(len(names)), [binding[n] for n in names])
+                self.circuit.append(
+                    Barrier(len(names)), [binding[n] for n in names], span=self._span(loc)
+                )
                 continue
             _, call_name, exprs, names, _loc = node
             inner = self._gates[call_name]
@@ -1015,7 +1029,9 @@ class _QasmParser:
 # Import: public API
 # ---------------------------------------------------------------------------
 
-def from_qasm(source: str, name: str = "from_qasm") -> QuantumCircuit:
+def from_qasm(
+    source: str, name: str = "from_qasm", filename: Optional[str] = None
+) -> QuantumCircuit:
     """Parse an OpenQASM 2.0 program string into a :class:`QuantumCircuit`.
 
     Raises :class:`~repro.qsim.exceptions.QasmError` (with the 1-based source
@@ -1023,10 +1039,15 @@ def from_qasm(source: str, name: str = "from_qasm") -> QuantumCircuit:
     indices, unknown gates and unsupported features (``if``, ``opaque``,
     includes other than ``qelib1.inc``).  See ``docs/qasm.md`` for the exact
     supported subset and the qelib1 mapping table.
+
+    Every appended instruction carries a
+    :class:`~repro.qsim.circuit.SourceSpan` with its 1-based statement
+    position (*filename*, when given, names the source in diagnostics), so
+    the static analyzer (``docs/analysis.md``) can report ``file:line:col``.
     """
     if source.startswith("\ufeff"):
         source = source[1:]    # tolerate a UTF-8 BOM from Windows editors
-    return _QasmParser(source, name=name).parse()
+    return _QasmParser(source, name=name, filename=filename).parse()
 
 
 def from_qasm_file(path: Union[str, "os.PathLike"], name: Optional[str] = None) -> QuantumCircuit:
@@ -1035,4 +1056,4 @@ def from_qasm_file(path: Union[str, "os.PathLike"], name: Optional[str] = None) 
         source = handle.read()
     if name is None:
         name = os.path.splitext(os.path.basename(str(path)))[0] or "from_qasm"
-    return from_qasm(source, name=name)
+    return from_qasm(source, name=name, filename=str(path))

@@ -10,7 +10,10 @@ repeat traffic skip the transpile/fusion pipeline entirely
 (:mod:`~repro.qsim.service.cache`).  One submission carries many circuits
 plus shared run config as a qobj-style batch payload
 (:mod:`~repro.qsim.service.payload`), serialized through the OpenQASM 2.0
-round-trip so the store only ever holds text -- never pickles.
+round-trip so the store only ever holds text -- never pickles.  Every
+submission is statically analyzed first (:mod:`~repro.qsim.service.validation`):
+the per-circuit diagnostic reports are persisted as a job artifact and
+error-severity payloads are rejected before any worker can claim them.
 
 The CLI exposes the whole lifecycle as ``qutes submit / status / result /
 cancel / worker / queue-stats``; see ``docs/service.md`` for the guide and
@@ -21,6 +24,7 @@ semantics.
 from .cache import CircuitCache
 from .payload import BatchPayload
 from .store import JobRecord, JobStore, ServiceError
+from .validation import submit_payload, validate_payload
 from .worker import WorkerFleet, configure_logging, execute_payload, worker_loop
 
 __all__ = [
@@ -32,5 +36,7 @@ __all__ = [
     "WorkerFleet",
     "configure_logging",
     "execute_payload",
+    "submit_payload",
+    "validate_payload",
     "worker_loop",
 ]

@@ -69,7 +69,8 @@ CREATE TABLE IF NOT EXISTS jobs (
     heartbeat_at     REAL,
     result           TEXT,
     error            TEXT,
-    telemetry        TEXT
+    telemetry        TEXT,
+    diagnostics      TEXT
 );
 CREATE INDEX IF NOT EXISTS idx_jobs_claim ON jobs (state, not_before, created_at);
 
@@ -106,6 +107,7 @@ class JobRecord:
     result: Optional[str]
     error: Optional[str]
     telemetry: Optional[str] = None
+    diagnostics: Optional[str] = None
 
     @property
     def is_terminal(self) -> bool:
@@ -133,6 +135,20 @@ class JobRecord:
             )
         return json.loads(self.telemetry)
 
+    def diagnostics_dict(self) -> Dict[str, Any]:
+        """The stored submit-time analysis artifact (per-circuit reports).
+
+        Raises :class:`ServiceError` when the job has none -- submitted with
+        validation skipped, or recorded by a build that predates the static
+        analyzer.  See ``docs/analysis.md`` for the artifact shape.
+        """
+        if self.diagnostics is None:
+            raise ServiceError(
+                f"job {self.job_id} has no diagnostics artifact (submitted "
+                "with validation skipped, or by an older build)"
+            )
+        return json.loads(self.diagnostics)
+
 
 def _row_to_record(row: sqlite3.Row) -> JobRecord:
     return JobRecord(**{key: row[key] for key in row.keys()})
@@ -157,16 +173,18 @@ class JobStore:
         """Bring a database created by an older build up to this schema.
 
         ``CREATE TABLE IF NOT EXISTS`` leaves pre-existing tables untouched,
-        so columns added later (``telemetry``, PR 7) must be grafted onto
-        old databases here.  ``ADD COLUMN`` with no constraints is a pure
+        so columns added later (``telemetry``, ``diagnostics``) must be
+        grafted onto old databases here.  ``ADD COLUMN`` with no constraints is a pure
         metadata operation in sqlite -- safe on a live multi-process store.
         """
         columns = {
             row["name"] for row in self._conn.execute("PRAGMA table_info(jobs)")
         }
-        if "telemetry" not in columns:
+        for column in ("telemetry", "diagnostics"):
+            if column in columns:
+                continue
             try:
-                self._conn.execute("ALTER TABLE jobs ADD COLUMN telemetry TEXT")
+                self._conn.execute(f"ALTER TABLE jobs ADD COLUMN {column} TEXT")
             except sqlite3.OperationalError as exc:  # pragma: no cover - migration race
                 # two processes opening an old database concurrently: the
                 # loser's duplicate ALTER is harmless
@@ -189,6 +207,8 @@ class JobStore:
         payload_json: str,
         max_attempts: int = 3,
         not_before: float = 0.0,
+        diagnostics: Optional[str] = None,
+        rejected_error: Optional[str] = None,
     ) -> str:
         """Insert a new ``QUEUED`` job and return its durable id.
 
@@ -196,15 +216,34 @@ class JobStore:
         without any coordination, and the primary-key constraint turns the
         astronomically unlikely collision into a hard error instead of a
         silent overwrite.
+
+        *diagnostics*, when given, is the submit-time analysis artifact
+        (serialized JSON) stored on the row.  *rejected_error* inserts the
+        job directly as terminal ``FAILED`` with that error text -- this is
+        how submit-time validation rejects an error-severity payload while
+        still recording it durably: claims only ever select ``QUEUED``
+        rows, so a rejected job is never picked up by any worker.
         """
         if max_attempts < 1:
             raise ServiceError("max_attempts must be at least 1")
         job_id = f"job-{uuid.uuid4().hex}"
         now = time.time()
+        state = "QUEUED" if rejected_error is None else "FAILED"
         self._conn.execute(
             "INSERT INTO jobs (job_id, state, payload, created_at, updated_at,"
-            " not_before, max_attempts) VALUES (?, 'QUEUED', ?, ?, ?, ?, ?)",
-            (job_id, payload_json, now, now, not_before, max_attempts),
+            " not_before, max_attempts, diagnostics, error)"
+            " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (
+                job_id,
+                state,
+                payload_json,
+                now,
+                now,
+                not_before,
+                max_attempts,
+                diagnostics,
+                rejected_error,
+            ),
         )
         return job_id
 

@@ -408,7 +408,7 @@ class StabilizerTableau:
         if pivot is None:
             return int(self._deterministic_expr(qubit)[0])
         if rng is None:
-            rng = np.random.default_rng()
+            rng = np.random.default_rng()  # invariant: allow -- explicit no-rng fallback
         outcome = int(rng.integers(0, 2))
         self._collapse(qubit, pivot)
         self.phases[pivot, 0] = outcome

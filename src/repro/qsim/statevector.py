@@ -269,7 +269,7 @@ class Statevector:
         """
         targets = self._check_targets(targets)
         if rng is None:
-            rng = np.random.default_rng()
+            rng = np.random.default_rng()  # invariant: allow -- explicit no-rng fallback
         probs = self.probabilities(targets)
         outcome = int(rng.choice(probs.size, p=probs / probs.sum()))
         self._collapse(targets, outcome, math.sqrt(probs[outcome]))
@@ -297,7 +297,7 @@ class Statevector:
         if shots <= 0:
             raise SimulationError("shots must be positive")
         if rng is None:
-            rng = np.random.default_rng()
+            rng = np.random.default_rng()  # invariant: allow -- explicit no-rng fallback
         probs = self.probabilities(targets)
         outcomes = rng.multinomial(shots, probs / probs.sum())
         return {value: int(count) for value, count in enumerate(outcomes) if count}

@@ -84,24 +84,32 @@ _BASIS = {"id", "x", "y", "z", "h", "s", "sdg", "t", "tdg", "sx", "rx", "ry", "r
 
 
 def count_ops(circuit: QuantumCircuit) -> Dict[str, int]:
-    """Histogram of instruction names (thin wrapper over the circuit method)."""
-    return circuit.count_ops()
+    """Histogram of instruction names (from the analyzer's resource facts)."""
+    from .analysis.resources import estimate_resources  # local import: cycle
+
+    return dict(estimate_resources(circuit).gate_counts)
 
 
 def circuit_depth(circuit: QuantumCircuit, decompose_first: bool = False) -> int:
     """Circuit depth, optionally after lowering to the {1q, CX} basis."""
+    from .analysis.resources import estimate_resources  # local import: cycle
+
     target = decompose(circuit) if decompose_first else circuit
-    return target.depth()
+    return estimate_resources(target).depth
 
 
 def basis_gate_count(circuit: QuantumCircuit) -> int:
     """Total gate count after lowering to the {1q, CX} basis."""
-    return decompose(circuit).size()
+    from .analysis.resources import estimate_resources  # local import: cycle
+
+    return estimate_resources(decompose(circuit)).size
 
 
 def two_qubit_gate_count(circuit: QuantumCircuit) -> int:
     """Number of CX gates after lowering (the usual hardware cost metric)."""
-    return decompose(circuit).count_ops().get("cx", 0)
+    from .analysis.resources import estimate_resources  # local import: cycle
+
+    return estimate_resources(decompose(circuit)).gate_counts.get("cx", 0)
 
 
 def decompose(circuit: QuantumCircuit) -> QuantumCircuit:
@@ -522,5 +530,13 @@ def is_clifford(circuit: QuantumCircuit) -> bool:
     snapping for rotation gates) or, for explicit/fused unitary blocks up to
     :data:`MAX_CLIFFORD_TABLE_QUBITS` qubits, when
     :func:`pauli_conjugation_table` certifies the matrix as Clifford.
+
+    Delegates to the static analyzer's resource estimate
+    (:func:`repro.qsim.analysis.estimate_resources`), which classifies
+    instructions through :func:`_clifford_classification` — the same single
+    source of truth the stabilizer engine compiles from — and records the
+    first offender for the analyzer's QA401 diagnostic.
     """
-    return all(_clifford_classification(instr.operation) is not None for instr in circuit.data)
+    from .analysis.resources import estimate_resources  # local import: cycle
+
+    return estimate_resources(circuit).first_non_clifford is None

@@ -1,0 +1,45 @@
+"""Property test: every benchmark circuit lints clean at error severity.
+
+The ``benchmarks/circuits/`` corpus is the repo's own regression corpus, so
+a target-free analysis must never produce an error-severity finding — this
+is also what CI's ``analysis`` step enforces via ``repro.cli lint``.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.qsim.analysis import Severity, analyze
+from repro.qsim.qasm import from_qasm_file
+
+CORPUS = sorted(
+    (Path(__file__).resolve().parents[3] / "benchmarks" / "circuits").glob("*.qasm")
+)
+
+
+def test_corpus_is_present():
+    assert len(CORPUS) >= 5
+
+
+@pytest.mark.parametrize("path", CORPUS, ids=lambda p: p.name)
+def test_corpus_file_lints_clean_at_error_severity(path):
+    report = analyze(from_qasm_file(path))
+    errors = report.at_least(Severity.ERROR)
+    assert errors == [], report.format()
+
+
+@pytest.mark.parametrize("path", CORPUS, ids=lambda p: p.name)
+def test_corpus_spans_point_into_the_file(path):
+    circuit = from_qasm_file(path)
+    lines = path.read_text().splitlines()
+    spanned = [instr for instr in circuit.data if instr.span is not None]
+    assert spanned, "importer should stamp spans on instructions"
+    for instr in spanned:
+        assert instr.span.source == str(path)
+        assert 1 <= instr.span.line <= len(lines)
+
+
+def test_cli_lint_over_full_corpus_exits_zero(capsys):
+    rc = main(["lint", *[str(p) for p in CORPUS], "--min-severity", "error"])
+    assert rc == 0, capsys.readouterr().out

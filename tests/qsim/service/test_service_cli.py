@@ -52,9 +52,12 @@ def submit_done(db, qasm_file, capsys):
 
 
 def submit_failed(db, qasm_file, capsys):
-    job_id = submit(db, qasm_file, capsys, "--backend", "nosuch", "--max-attempts", "1")
-    worker_loop(db, burst=True)
-    return job_id
+    # an unknown backend is rejected at submit time by static analysis
+    # (QA405): rc 1, job recorded FAILED before any worker can claim it
+    assert (
+        main(["submit", qasm_file, "--db", db, "--shots", "16", "--backend", "nosuch"]) == 1
+    )
+    return capsys.readouterr().out.strip()
 
 
 class TestErrorPaths:

@@ -187,6 +187,57 @@ class TestRegistry:
             ops_module._INSTANCES.pop("broken", None)
 
 
+class TestAliases:
+    """Alias support mirroring the backend registry (``np`` -> ``numpy``)."""
+
+    def test_np_alias_resolves_to_numpy(self):
+        assert get_ops("np") is get_ops("numpy")
+        assert get_ops("NP").name == "numpy"
+
+    def test_available_ops_can_include_aliases(self):
+        assert "np" not in available_ops()
+        assert "np" in available_ops(include_aliases=True)
+
+    def test_unknown_name_error_lists_names_and_aliases(self):
+        with pytest.raises(SimulationError) as excinfo:
+            get_ops("cupy")
+        message = str(excinfo.value)
+        assert "unknown array-ops backend 'cupy'" in message
+        assert "numpy" in message
+        assert "aliases: np" in message
+
+    def test_set_default_accepts_alias(self):
+        try:
+            set_default_ops("np")
+            assert ops_module.active_ops_name() == "numpy"
+        finally:
+            set_default_ops(None)
+
+    def test_env_var_accepts_alias(self, monkeypatch):
+        monkeypatch.setenv(OPS_ENV_VAR, "np")
+        assert ops_module.active_ops_name() == "numpy"
+
+    def test_env_var_typo_raises_with_names(self, monkeypatch):
+        monkeypatch.setenv(OPS_ENV_VAR, "nope")
+        with pytest.raises(SimulationError, match="available: numpy"):
+            get_ops()
+
+    def test_alias_collision_rejected(self):
+        with pytest.raises(SimulationError, match="already registered"):
+            register_ops("fresh", NumpyOps, aliases=("np",))
+        # the half-registered name is still present; clean it up
+        ops_module._REGISTRY.pop("fresh", None)
+
+    def test_register_with_new_alias(self):
+        try:
+            register_ops("recording", RecordingOps, aliases=("rec",))
+            assert get_ops("rec") is get_ops("recording")
+        finally:
+            ops_module._REGISTRY.pop("recording", None)
+            ops_module._INSTANCES.pop("recording", None)
+            ops_module._ALIASES.pop("rec", None)
+
+
 # ---------------------------------------------------------------------------
 # NumpyOps primitive contracts
 # ---------------------------------------------------------------------------

@@ -1,0 +1,95 @@
+"""Source-span threading through the QASM importer.
+
+Every instruction the importer appends carries a
+:class:`~repro.qsim.circuit.SourceSpan` (1-based line/column of the
+statement that produced it), which is what lets analyzer diagnostics point
+back at ``file:line:col``.
+"""
+
+from repro.qsim.circuit import QuantumCircuit, SourceSpan
+from repro.qsim.qasm import from_qasm, from_qasm_file
+
+SOURCE = """OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+creg c[2];
+h q[0];
+cx q[0], q[1];
+barrier q;
+measure q[0] -> c[0];
+reset q[1];
+"""
+
+
+def test_every_instruction_gets_a_span():
+    circuit = from_qasm(SOURCE)
+    lines = [instr.span.line for instr in circuit.data]
+    assert lines == [5, 6, 7, 8, 9]
+    assert all(instr.span.column == 1 for instr in circuit.data)
+
+
+def test_string_import_has_no_source_file():
+    circuit = from_qasm(SOURCE)
+    assert circuit.data[0].span.source is None
+    assert circuit.data[0].span.location() == "5:1"
+
+
+def test_file_import_stamps_the_path(tmp_path):
+    path = tmp_path / "bell.qasm"
+    path.write_text(SOURCE)
+    circuit = from_qasm_file(path)
+    span = circuit.data[0].span
+    assert span.source == str(path)
+    assert span.location() == f"{path}:5:1"
+
+
+def test_register_declarations_recorded():
+    circuit = from_qasm(SOURCE)
+    qreg_span = circuit.register_spans[circuit.qregs[0]]
+    creg_span = circuit.register_spans[circuit.cregs[0]]
+    assert (qreg_span.line, creg_span.line) == (3, 4)
+
+
+def test_macro_expansion_points_at_the_call_site():
+    source = (
+        "OPENQASM 2.0;\n"
+        'include "qelib1.inc";\n'
+        "gate bellpair a, b { h a; cx a, b; }\n"
+        "qreg q[2];\n"
+        "bellpair q[0], q[1];\n"
+    )
+    circuit = from_qasm(source)
+    assert len(circuit.data) == 2  # h + cx from the macro body
+    assert {instr.span.line for instr in circuit.data} == {5}
+
+
+def test_mid_line_statement_column():
+    source = 'OPENQASM 2.0;\ninclude "qelib1.inc";\nqreg q[1];\nh q[0]; x q[0];\n'
+    circuit = from_qasm(source)
+    assert (circuit.data[0].span.line, circuit.data[0].span.column) == (4, 1)
+    assert (circuit.data[1].span.line, circuit.data[1].span.column) == (4, 9)
+
+
+def test_copy_and_compose_preserve_spans():
+    circuit = from_qasm(SOURCE)
+    copied = circuit.copy()
+    assert [i.span for i in copied.data] == [i.span for i in circuit.data]
+    assert copied.register_spans == circuit.register_spans
+
+    host = QuantumCircuit(2, 2)
+    host.compose(circuit)
+    assert [i.span for i in host.data] == [i.span for i in circuit.data]
+
+
+def test_hand_built_circuits_have_no_spans():
+    qc = QuantumCircuit(1, 1)
+    qc.h(0)
+    qc.measure(0, 0)
+    assert all(instr.span is None for instr in qc.data)
+    assert qc.register_spans == {}
+
+
+def test_span_is_a_lightweight_namedtuple():
+    span = SourceSpan(3, 7, "f.qasm")
+    assert tuple(span) == (3, 7, "f.qasm")
+    assert span == SourceSpan(3, 7, "f.qasm")

@@ -316,8 +316,10 @@ class TestServiceVerbs:
             'OPENQASM 2.0;\ninclude "qelib1.inc";\nqreg q[1];\ncreg c[1];\n'
             "t q[0];\nmeasure q -> c;\n"
         )
+        # --no-lint lets the doomed job through to a worker (submit-time
+        # analysis would reject it with QA401 otherwise)
         argv = ["submit", str(path), "--db", db, "--backend", "stabilizer",
-                "--max-attempts", "1"]
+                "--max-attempts", "1", "--no-lint"]
         assert main(argv) == 0
         job_id = capsys.readouterr().out.strip()
         main(["worker", "--db", db, "--burst", "--retry-delay", "0"])
@@ -341,3 +343,184 @@ class TestServiceVerbs:
         db = str(tmp_path / "svc.db")
         assert main(["status", "job-missing", "--db", db]) == 1
         assert "no such job" in capsys.readouterr().err
+
+
+BAD_QASM = """OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+qreg spare[2];
+creg c[3];
+creg never[2];
+h q[0];
+measure q[0] -> c[0];
+x q[0];
+measure q[1] -> c[1];
+measure q[1] -> c[1];
+"""
+
+
+class TestLintVerb:
+    @pytest.fixture
+    def bad_file(self, tmp_path):
+        path = tmp_path / "bad.qasm"
+        path.write_text(BAD_QASM)
+        return str(path)
+
+    def test_reports_five_distinct_codes_with_spans(self, bad_file, capsys):
+        assert main(["lint", bad_file]) == 0  # warnings/info only: rc 0
+        out = capsys.readouterr().out
+        codes = {line.split("[")[1].split("]")[0] for line in out.splitlines()}
+        assert {"QA101", "QA102", "QA103", "QA201", "QA202"} <= codes
+        assert f"{bad_file}:9:1: warning[QA101]" in out  # the x gate
+        assert f"{bad_file}:11:1: warning[QA102]" in out  # the re-measure
+
+    def test_clean_file_is_quiet_exit_zero(self, tmp_path, capsys):
+        path = tmp_path / "bell.qasm"
+        path.write_text(
+            'OPENQASM 2.0;\ninclude "qelib1.inc";\nqreg q[2];\ncreg c[2];\n'
+            "h q[0];\ncx q[0], q[1];\nmeasure q[0] -> c[0];\nmeasure q[1] -> c[1];\n"
+        )
+        assert main(["lint", str(path)]) == 0
+        assert capsys.readouterr().out == ""
+
+    def test_error_findings_exit_one(self, tmp_path, capsys):
+        path = tmp_path / "t.qasm"
+        path.write_text(
+            'OPENQASM 2.0;\ninclude "qelib1.inc";\nqreg q[1];\ncreg c[1];\n'
+            "t q[0];\nmeasure q[0] -> c[0];\n"
+        )
+        assert main(["lint", str(path), "--backend", "stabilizer"]) == 1
+        assert "error[QA401]" in capsys.readouterr().out
+
+    def test_min_severity_filters_output(self, bad_file, capsys):
+        assert main(["lint", bad_file, "--min-severity", "warn"]) == 0
+        out = capsys.readouterr().out
+        assert "QA101" in out and "QA201" not in out
+
+    def test_parse_error_becomes_qa001_with_span(self, tmp_path, capsys):
+        path = tmp_path / "broken.qasm"
+        path.write_text("OPENQASM 2.0;\nqreg q[1;\n")
+        assert main(["lint", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert f"{path}:2:9: error[QA001]" in out
+
+    def test_json_format(self, bad_file, capsys):
+        import json
+
+        assert main(["lint", bad_file, "--format", "json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data[0]["resources"]["num_qubits"] == 5
+        assert any(d["code"] == "QA101" for d in data[0]["diagnostics"])
+
+    def test_missing_file_is_exit_2(self, tmp_path, capsys):
+        assert main(["lint", str(tmp_path / "ghost.qasm")]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+
+class TestLintFlag:
+    def test_lint_aborts_run_on_error(self, tmp_path, capsys):
+        path = tmp_path / "t.qasm"
+        path.write_text(
+            'OPENQASM 2.0;\ninclude "qelib1.inc";\nqreg q[1];\ncreg c[1];\n'
+            "t q[0];\nmeasure q[0] -> c[0];\n"
+        )
+        argv = ["--from-qasm", str(path), "--lint", "--backend", "stabilizer"]
+        assert main(argv) == 1
+        err = capsys.readouterr().err
+        assert "QA401" in err and "failed static analysis" in err
+
+    def test_lint_warn_threshold(self, tmp_path, capsys):
+        path = tmp_path / "bad.qasm"
+        path.write_text(BAD_QASM)
+        assert main(["--from-qasm", str(path), "--lint", "warn"]) == 1
+        assert "QA101" in capsys.readouterr().err
+        # default 'error' threshold lets warnings through and runs
+        assert main(["--from-qasm", str(path), "--lint", "--seed", "1", "--shots", "4"]) == 0
+        captured = capsys.readouterr()
+        assert "QA101" in captured.err  # still reported
+        assert captured.out  # counts printed
+
+    def test_clean_circuit_runs_silently(self, tmp_path, capsys):
+        path = tmp_path / "bell.qasm"
+        path.write_text(
+            'OPENQASM 2.0;\ninclude "qelib1.inc";\nqreg q[2];\ncreg c[2];\n'
+            "h q[0];\ncx q[0], q[1];\nmeasure q[0] -> c[0];\nmeasure q[1] -> c[1];\n"
+        )
+        assert main(["--from-qasm", str(path), "--lint", "--seed", "1", "--shots", "8"]) == 0
+        captured = capsys.readouterr()
+        assert captured.err == ""
+        assert captured.out
+
+    def test_lint_flag_rejected_for_qut_programs(self, program_file, capsys):
+        with pytest.raises(SystemExit):
+            main([program_file, "--lint"])
+        assert "--lint applies to --from-qasm" in capsys.readouterr().err
+
+
+class TestSubmitValidation:
+    def test_rejected_submit_prints_findings_and_job_id(self, tmp_path, capsys):
+        db = str(tmp_path / "svc.db")
+        path = tmp_path / "t.qasm"
+        path.write_text(
+            'OPENQASM 2.0;\ninclude "qelib1.inc";\nqreg q[1];\ncreg c[1];\n'
+            "t q[0];\nmeasure q[0] -> c[0];\n"
+        )
+        assert main(["submit", str(path), "--db", db, "--backend", "chp"]) == 1
+        captured = capsys.readouterr()
+        job_id = captured.out.strip()
+        assert job_id.startswith("job-")
+        assert "error[QA401]" in captured.err
+        assert "rejected by static analysis" in captured.err
+        # the job is already FAILED with the artifact attached
+        assert main(["status", job_id, "--db", db]) == 0
+        status_out = capsys.readouterr().out
+        assert "FAILED" in status_out
+        assert "diagnostics: 1 error(s)" in status_out
+
+    def test_clean_submit_reports_diagnostics_summary(self, tmp_path, capsys):
+        db = str(tmp_path / "svc.db")
+        path = tmp_path / "bell.qasm"
+        path.write_text(
+            'OPENQASM 2.0;\ninclude "qelib1.inc";\nqreg q[2];\ncreg c[2];\n'
+            "h q[0];\ncx q[0], q[1];\nmeasure q[0] -> c[0];\nmeasure q[1] -> c[1];\n"
+        )
+        assert main(["submit", str(path), "--db", db]) == 0
+        job_id = capsys.readouterr().out.strip()
+        assert main(["status", job_id, "--db", db]) == 0
+        out = capsys.readouterr().out
+        assert "QUEUED" in out
+        assert "diagnostics: 0 error(s), 0 warning(s)" in out
+
+    def test_warning_findings_do_not_block_submit(self, tmp_path, capsys):
+        db = str(tmp_path / "svc.db")
+        path = tmp_path / "bad.qasm"
+        path.write_text(BAD_QASM)
+        assert main(["submit", str(path), "--db", db]) == 0
+        captured = capsys.readouterr()
+        assert captured.out.strip().startswith("job-")
+        assert "warning[QA101]" in captured.err  # surfaced, not fatal
+
+
+class TestArrayOpsSelection:
+    def test_unknown_array_ops_flag_lists_names(self, program_file, capsys):
+        assert main([program_file, "--array-ops", "bogus"]) == 1
+        err = capsys.readouterr().err
+        assert "unknown array-ops backend 'bogus'" in err
+        assert "numpy" in err and "aliases: np" in err
+
+    def test_unknown_env_var_fails_eagerly(self, program_file, capsys, monkeypatch):
+        monkeypatch.setenv("QSIM_ARRAY_OPS", "bogus")
+        assert main([program_file]) == 1
+        err = capsys.readouterr().err
+        assert "$QSIM_ARRAY_OPS" in err
+        assert "unknown array-ops backend 'bogus'" in err
+
+    def test_np_alias_accepted(self, program_file, capsys, monkeypatch):
+        from repro.qsim.ops import set_default_ops
+
+        monkeypatch.setenv("QSIM_ARRAY_OPS", "np")
+        try:
+            assert main([program_file, "--seed", "1"]) == 0
+        finally:
+            set_default_ops(None)
+        assert "8" in capsys.readouterr().out
