@@ -16,7 +16,15 @@ Drives the importer over the committed QASMBench-style corpus in
   under the sampling-noise floor ``1.3*sqrt(outcomes/shots)`` plus the
   systematic ``--tvd-tolerance``, capped at 0.5 so total cross-engine
   disagreement always fails.  Deterministic circuits (one outcome) agree
-  exactly.
+  exactly.  Classically-conditioned circuits ride the same gates: every
+  engine routes them onto its per-shot path, so the conditional corpus
+  members double as feed-forward regression tests.
+
+* **Golden counts** — files whose outcome support is known in closed form
+  (``GOLDEN_SUPPORT``) fail the run if any engine ever reports a bitstring
+  outside that support; the ``*_cond_*`` members must also actually carry
+  conditioned instructions, so a parser regression that silently drops
+  ``if`` cannot pass.
 
 * **Scale acceptance** — the largest Clifford member of the corpus (the
   127-qubit GHZ chain) must import and finish all shots on the stabilizer
@@ -50,6 +58,25 @@ CIRCUITS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "circuit
 SV_MAX_QUBITS = 16
 DM_MAX_QUBITS = 10
 
+#: exact outcome support per corpus file, for circuits whose distribution is
+#: known in closed form; every engine's observed bitstrings must be a subset
+#: (bitstrings are MSB-first over all clbits, later registers leftmost)
+GOLDEN_SUPPORT: Dict[str, set] = {
+    # teleported |1>: out always 1, Bell measurement bits uniform
+    "teleport_cond_n3.qasm": {"100", "101", "110", "111"},
+    # repetition-code round repairs the injected error: data always 111,
+    # and the syndrome deterministically reads s0=s1=1
+    "qec_cond_n5.qasm": {"11111"},
+    # steered GHZ: all four measured bits agree
+    "ghz_cond_n4.qasm": {"0000", "1111"},
+    # W state: exactly one excitation across the three bits
+    "wstate_n3.qasm": {"001", "010", "100"},
+}
+
+#: corpus members that must carry classically-conditioned instructions —
+#: guards against an importer regression that parses but drops `if`
+CONDITIONAL_FILES = {"teleport_cond_n3.qasm", "qec_cond_n5.qasm", "ghz_cond_n4.qasm"}
+
 
 def parse_throughput(path: str, repeats: int) -> Dict[str, object]:
     """Parse *path* ``repeats`` times and report instructions + MB/s."""
@@ -75,7 +102,7 @@ def parse_throughput(path: str, repeats: int) -> Dict[str, object]:
 def agreement_run(
     circuit, shots: int, seed: int, dm_qubits: int
 ) -> Dict[str, object]:
-    """Run *circuit* on every applicable engine; report pairwise TVD."""
+    """Run *circuit* on every applicable engine; report pairwise TVD and counts."""
     engines = ["statevector"] if circuit.num_qubits <= SV_MAX_QUBITS else []
     if circuit.num_qubits <= dm_qubits:
         engines.append("density_matrix")
@@ -103,6 +130,7 @@ def agreement_run(
         "max_tvd": max_tvd,
         "outcomes": outcomes,
         "seconds": timings,
+        "counts": counts,
     }
 
 
@@ -136,8 +164,23 @@ def main(argv: List[str] | None = None) -> int:
         row = parse_throughput(path, args.repeats)
         circuit = row.pop("circuit")
         agreement = agreement_run(circuit, args.shots, args.seed, args.dm_qubits)
+        counts = agreement.pop("counts")
         row.update(agreement)
         rows.append(row)
+        if row["file"] in CONDITIONAL_FILES and not circuit.has_conditions():
+            failures.append(
+                f"{row['file']}: importer dropped the classical conditions "
+                "(circuit.has_conditions() is False)"
+            )
+        golden = GOLDEN_SUPPORT.get(row["file"])
+        if golden is not None:
+            for engine, engine_counts in counts.items():
+                stray = sorted(set(engine_counts) - golden)
+                if stray:
+                    failures.append(
+                        f"{row['file']}: {engine} produced outcomes outside the "
+                        f"golden support: {stray}"
+                    )
         if agreement["clifford"] and (
             not largest_clifford or row["qubits"] > largest_clifford["qubits"]
         ):

@@ -1,0 +1,19 @@
+OPENQASM 3;
+include "stdgates.inc";
+// OpenQASM 3 subset exercise: qubit/bit declarations, a ctrl @ modifier,
+// assignment measurement and an if block.  A 3-qubit GHZ state is grown,
+// one member is measured, and a fourth qubit is classically steered to
+// match — so the four measured bits always agree: 0000 or 1111.
+qubit[4] q;
+bit[1] m;
+bit[3] out;
+h q[0];
+cx q[0], q[1];
+ctrl @ x q[1], q[2];
+m[0] = measure q[2];
+if (m == 1) {
+  x q[3];
+}
+out[0] = measure q[0];
+out[1] = measure q[1];
+out[2] = measure q[3];

@@ -1,0 +1,29 @@
+OPENQASM 2.0;
+include "qelib1.inc";
+// One round of the 3-qubit bit-flip repetition code with classically
+// conditioned correction: encode logical |1>, inject a known X error on the
+// middle data qubit, extract both parity syndromes, and repair from the
+// syndrome value.  The data register must read 111 on every shot.
+qreg q[5];
+creg s[2];
+creg d[3];
+// encode |1>_L across q[0..2]
+x q[0];
+cx q[0], q[1];
+cx q[0], q[2];
+// deterministic error on the middle data qubit
+x q[1];
+// syndrome extraction: q[3] = d0 xor d1, q[4] = d1 xor d2
+cx q[0], q[3];
+cx q[1], q[3];
+cx q[1], q[4];
+cx q[2], q[4];
+measure q[3] -> s[0];
+measure q[4] -> s[1];
+// decode: s==1 -> flip d0, s==3 -> flip d1, s==2 -> flip d2
+if(s==1) x q[0];
+if(s==3) x q[1];
+if(s==2) x q[2];
+measure q[0] -> d[0];
+measure q[1] -> d[1];
+measure q[2] -> d[2];

@@ -1,0 +1,23 @@
+OPENQASM 2.0;
+include "qelib1.inc";
+// Active teleportation of |1>: the corrections are classically conditioned
+// on the mid-circuit Bell measurement (cf. teleport_n3.qasm, which defers
+// them).  The teleported output bit must read 1 on every shot.
+qreg q[3];
+creg m0[1];
+creg m1[1];
+creg out[1];
+// message qubit in |1>
+x q[0];
+// Bell pair between q[1] (Alice) and q[2] (Bob)
+h q[1];
+cx q[1], q[2];
+// Bell measurement of message + Alice half
+cx q[0], q[1];
+h q[0];
+measure q[0] -> m0[0];
+measure q[1] -> m1[0];
+// feed-forward corrections on Bob's half
+if(m1==1) x q[2];
+if(m0==1) z q[2];
+measure q[2] -> out[0];

@@ -66,9 +66,9 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "--from-qasm",
         default=None,
         metavar="FILE",
-        help="run an OpenQASM 2.0 circuit file instead of a Qutes program "
-        "(composes with --backend/--noise/--shots/--seed; circuits without "
-        "measurements get a final measure-all)",
+        help="run an OpenQASM 2.0 or OpenQASM 3 (subset) circuit file instead "
+        "of a Qutes program (composes with --backend/--noise/--shots/--seed; "
+        "circuits without measurements get a final measure-all)",
     )
     parser.add_argument("--seed", type=int, default=None, help="RNG seed for measurements")
     parser.add_argument("--shots", type=int, default=1024, help="shots used by sample()")
@@ -241,10 +241,10 @@ def build_lint_parser() -> argparse.ArgumentParser:
     """Argument parser for the ``lint`` verb (exposed separately for testing)."""
     parser = argparse.ArgumentParser(
         prog="qutes lint",
-        description="Statically analyze OpenQASM 2.0 circuit files without "
+        description="Statically analyze OpenQASM 2.0/3 circuit files without "
         "running them; see docs/analysis.md for the diagnostic catalogue.",
     )
-    parser.add_argument("files", nargs="+", metavar="FILE", help="OpenQASM 2.0 circuit files")
+    parser.add_argument("files", nargs="+", metavar="FILE", help="OpenQASM 2.0/3 circuit files")
     parser.add_argument(
         "--backend",
         default=None,

@@ -58,6 +58,7 @@ DIAGNOSTIC_CODES: Dict[str, str] = {
     "QA101": "gate applied to a measured qubit without an intervening reset",
     "QA102": "measurement overwrites a classical bit that was already written",
     "QA103": "qubit re-measured with no gate or reset since its last measurement",
+    "QA104": "condition compares a classical register no measurement has written yet",
     "QA201": "qubit is never used by any instruction",
     "QA202": "classical bit is never written by any measurement",
     "QA301": "noise accumulates on a qubit that is never measured",

@@ -234,14 +234,40 @@ def _clbit_name(bit: Clbit) -> str:
 
 @register_pass("measure_flow")
 def _measure_flow_pass(ctx: AnalysisContext) -> Iterator[Diagnostic]:
-    """QA101 gate-after-measure, QA102 clbit clobber, QA103 redundant measure."""
+    """QA101 gate-after-measure, QA102 clbit clobber, QA103 redundant
+    measure, QA104 condition on a register with no measurement yet.
+
+    Classically-conditioned instructions are intentional feed-forward, so a
+    conditioned gate on a measured qubit does not raise QA101; instead QA104
+    flags conditions that can never vary because no bit of the compared
+    register has been written at that point (the register always reads 0).
+    """
     measured: Set[Qubit] = set()          # measured, no gate/reset since
     warned_after_measure: Set[Qubit] = set()
     written: Dict[Clbit, Optional[SourceSpan]] = {}
+    warned_unwritten_cregs: Set[object] = set()
     for index, instr in enumerate(ctx.circuit.data):
         op = instr.operation
         if isinstance(op, Barrier):
             continue
+        if instr.condition is not None:
+            creg, value = instr.condition
+            if (
+                creg not in warned_unwritten_cregs
+                and not any(clbit in written for clbit in creg)
+            ):
+                warned_unwritten_cregs.add(creg)
+                outcome = "always" if value == 0 else "never"
+                yield Diagnostic(
+                    "QA104",
+                    Severity.WARNING,
+                    f"condition on classical register {creg.name!r} before any "
+                    f"of its bits is measured; the register always reads 0, so "
+                    f"the {op.name!r} instruction {outcome} executes",
+                    span=instr.span,
+                    instruction_index=index,
+                    source="measure_flow",
+                )
         if isinstance(op, Measure):
             qubit = instr.qubits[0]
             clbit = instr.clbits[0]
@@ -276,7 +302,14 @@ def _measure_flow_pass(ctx: AnalysisContext) -> Iterator[Diagnostic]:
             warned_after_measure.discard(instr.qubits[0])
             continue
         for qubit in instr.qubits:
-            if qubit in measured and qubit not in warned_after_measure:
+            if (
+                qubit in measured
+                and qubit not in warned_after_measure
+                and instr.condition is None
+            ):
+                # conditioned gates after measurement are deliberate
+                # feed-forward (teleportation, error correction), not a
+                # forgotten reset
                 yield Diagnostic(
                     "QA101",
                     Severity.WARNING,

@@ -10,7 +10,7 @@ simple metrics (depth, gate counts).
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict, Iterable, List, NamedTuple, Optional, Sequence, Union
+from typing import Dict, Iterable, List, NamedTuple, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -57,9 +57,16 @@ class SourceSpan(NamedTuple):
 
 
 class CircuitInstruction:
-    """An :class:`Instruction` bound to concrete qubits and classical bits."""
+    """An :class:`Instruction` bound to concrete qubits and classical bits.
 
-    __slots__ = ("operation", "qubits", "clbits", "span")
+    ``condition`` implements OpenQASM 2 classical control flow: when set to
+    ``(creg, value)``, the instruction executes in a shot only if the integer
+    read from *creg* (little-endian over its bits, unmeasured bits 0) equals
+    *value*.  Conditioned instructions force the per-shot execution paths and
+    act as fusion/optimization barriers.
+    """
+
+    __slots__ = ("operation", "qubits", "clbits", "span", "condition")
 
     def __init__(
         self,
@@ -67,17 +74,22 @@ class CircuitInstruction:
         qubits: Sequence[Qubit],
         clbits: Sequence[Clbit] = (),
         span: Optional[SourceSpan] = None,
+        condition: Optional[Tuple[ClassicalRegister, int]] = None,
     ):
         self.operation = operation
         self.qubits = tuple(qubits)
         self.clbits = tuple(clbits)
         self.span = span
+        self.condition = condition
 
     def __repr__(self) -> str:
+        cond = ""
+        if self.condition is not None:
+            cond = f", condition=({self.condition[0].name!r}, {self.condition[1]})"
         return (
             f"CircuitInstruction({self.operation.name!r}, "
             f"qubits={[q.index for q in self.qubits]}, "
-            f"clbits={[c.index for c in self.clbits]})"
+            f"clbits={[c.index for c in self.clbits]}{cond})"
         )
 
 
@@ -217,6 +229,7 @@ class QuantumCircuit:
         qubits: Sequence[QubitSpec],
         clbits: Sequence[ClbitSpec] = (),
         span: Optional[SourceSpan] = None,
+        condition: Optional[Tuple[ClassicalRegister, int]] = None,
     ) -> "QuantumCircuit":
         """Append *operation* acting on the given qubits / classical bits."""
         qubits = self._resolve_qubits(qubits)
@@ -231,7 +244,54 @@ class QuantumCircuit:
             raise CircuitError(
                 f"{operation.name!r} expects {operation.num_clbits} clbits, got {len(clbits)}"
             )
-        self.data.append(CircuitInstruction(operation, qubits, clbits, span=span))
+        if condition is not None:
+            condition = self._validate_condition(condition, operation)
+        self.data.append(
+            CircuitInstruction(operation, qubits, clbits, span=span, condition=condition)
+        )
+        return self
+
+    def _validate_condition(
+        self,
+        condition: Tuple[ClassicalRegister, int],
+        operation: Instruction,
+    ) -> Tuple[ClassicalRegister, int]:
+        try:
+            creg, value = condition
+        except (TypeError, ValueError):
+            raise CircuitError(
+                f"condition must be a (ClassicalRegister, int) pair, got {condition!r}"
+            ) from None
+        if not isinstance(creg, ClassicalRegister):
+            raise CircuitError(
+                f"condition register must be a ClassicalRegister, got {type(creg).__name__}"
+            )
+        if not any(reg is creg for reg in self.cregs):
+            raise CircuitError(
+                f"condition register {creg.name!r} is not in this circuit"
+            )
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise CircuitError(f"condition value must be an int, got {value!r}")
+        if not 0 <= value < 2 ** creg.size:
+            raise CircuitError(
+                f"condition value {value} does not fit in {creg.size}-bit "
+                f"register {creg.name!r}"
+            )
+        if isinstance(operation, Barrier):
+            raise CircuitError("barriers cannot carry a classical condition")
+        return (creg, value)
+
+    def c_if(self, creg: ClassicalRegister, value: int) -> "QuantumCircuit":
+        """Condition the most recently appended instruction on ``creg == value``.
+
+        Chainable with the builder API::
+
+            qc.x(2).c_if(c, 1)
+        """
+        if not self.data:
+            raise CircuitError("c_if() requires a previously appended instruction")
+        last = self.data[-1]
+        last.condition = self._validate_condition((creg, value), last.operation)
         return self
 
     # -- single-qubit gates ---------------------------------------------------
@@ -461,7 +521,16 @@ class QuantumCircuit:
         for instr in other.data:
             mapped_q = [qubits[other.qubit_index(q)] for q in instr.qubits]
             mapped_c = [clbits[other.clbit_index(c)] for c in instr.clbits]
-            self.append(instr.operation.copy(), mapped_q, mapped_c, span=instr.span)
+            condition = instr.condition
+            if condition is not None and not any(r is condition[0] for r in self.cregs):
+                raise CircuitError(
+                    f"cannot compose conditioned instruction: register "
+                    f"{condition[0].name!r} is not in the target circuit"
+                )
+            self.append(
+                instr.operation.copy(), mapped_q, mapped_c,
+                span=instr.span, condition=condition,
+            )
         return self
 
     def inverse(self) -> "QuantumCircuit":
@@ -476,6 +545,11 @@ class QuantumCircuit:
             inv.add_register(reg)
         for instr in reversed(self.data):
             op = instr.operation
+            if instr.condition is not None:
+                raise CircuitError(
+                    "cannot invert circuit containing classically-conditioned "
+                    f"instruction {op.name!r}"
+                )
             if isinstance(op, Barrier):
                 inv.append(op.copy(), instr.qubits)
                 continue
@@ -495,7 +569,10 @@ class QuantumCircuit:
             new.add_register(reg)
         new.register_spans = dict(self.register_spans)
         for instr in self.data:
-            new.append(instr.operation.copy(), instr.qubits, instr.clbits, span=instr.span)
+            new.append(
+                instr.operation.copy(), instr.qubits, instr.clbits,
+                span=instr.span, condition=instr.condition,
+            )
         return new
 
     def power(self, exponent: int) -> "QuantumCircuit":
@@ -548,6 +625,10 @@ class QuantumCircuit:
         """Whether the circuit contains any measurement instruction."""
         return any(isinstance(i.operation, Measure) for i in self.data)
 
+    def has_conditions(self) -> bool:
+        """Whether any instruction carries a classical ``condition``."""
+        return any(i.condition is not None for i in self.data)
+
     # -- misc -------------------------------------------------------------------
 
     def __len__(self) -> int:
@@ -568,7 +649,10 @@ class QuantumCircuit:
             params = ""
             if instr.operation.params:
                 params = "(" + ", ".join(f"{p:g}" for p in instr.operation.params) + ")"
-            line = f"  {instr.operation.name}{params} {qs}"
+            prefix = ""
+            if instr.condition is not None:
+                prefix = f"if({instr.condition[0].name}=={instr.condition[1]}) "
+            line = f"  {prefix}{instr.operation.name}{params} {qs}"
             if cs:
                 line += f" -> {cs}"
             lines.append(line)

@@ -21,7 +21,7 @@ from .circuit import CircuitInstruction, QuantumCircuit
 from .exceptions import SimulationError
 from .instruction import Barrier, Initialize, Measure, Reset
 from .ops import get_ops
-from .simulator import Result, format_bits, measurements_are_final
+from .simulator import Result, condition_met, format_bits, measurements_are_final
 from .statevector import Statevector
 
 __all__ = [
@@ -314,10 +314,17 @@ class DensityMatrixSimulator:
             if initial.num_qubits != circuit.num_qubits:
                 raise SimulationError("initial state size does not match circuit")
             state = initial.copy()
+        bits: Dict[int, int] = {}
         for instr in circuit.data:
             op = instr.operation
+            if not condition_met(circuit, instr.condition, bits):
+                continue
             if isinstance(op, Measure):
-                state.measure([circuit.qubit_index(q) for q in instr.qubits], rng=self._rng)
+                outcome = state.measure(
+                    [circuit.qubit_index(q) for q in instr.qubits], rng=self._rng
+                )
+                if instr.clbits:
+                    bits[circuit.clbit_index(instr.clbits[0])] = outcome & 1
                 continue
             state = self._apply(state, circuit, instr)
         return state
@@ -433,6 +440,8 @@ class DensityMatrixSimulator:
             state = DensityMatrix.zero_state(circuit.num_qubits)
             bits: Dict[int, int] = {}
             for instr in circuit.data:
+                if not condition_met(circuit, instr.condition, bits):
+                    continue
                 if isinstance(instr.operation, Measure):
                     qubit = circuit.qubit_index(instr.qubits[0])
                     clbit = circuit.clbit_index(instr.clbits[0])

@@ -137,7 +137,10 @@ def _fuse_gates_impl(
 
     for instruction in circuit.data:
         operation = instruction.operation
-        if not operation.is_unitary:
+        if not operation.is_unitary or instruction.condition is not None:
+            # conditioned instructions only execute on some shots, so they can
+            # neither join a block nor let gates move across them: flush and
+            # keep them verbatim, exactly like measure/reset
             flush(open_blocks)
             open_blocks = []
             emitted.append(instruction)

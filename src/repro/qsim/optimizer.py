@@ -26,7 +26,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 from .circuit import CircuitInstruction, QuantumCircuit
 from .fusion import DEFAULT_MAX_FUSED_QUBITS, fuse_gates
-from .instruction import Barrier, Gate, Initialize, Instruction, Measure, Reset
+from .instruction import Barrier, Gate, Initialize, Measure, Reset
 
 __all__ = [
     "cancel_adjacent_inverses",
@@ -55,12 +55,19 @@ def _rebuild(circuit: QuantumCircuit, data: List[CircuitInstruction], suffix: st
     for reg in circuit.cregs:
         out.add_register(reg)
     for instr in data:
-        out.append(instr.operation.copy(), instr.qubits, instr.clbits)
+        out.append(
+            instr.operation.copy(), instr.qubits, instr.clbits,
+            span=instr.span, condition=instr.condition,
+        )
     return out
 
 
-def _is_blocker(operation: Instruction) -> bool:
-    return isinstance(operation, (Measure, Reset, Barrier, Initialize))
+def _is_blocker(instr: CircuitInstruction) -> bool:
+    # conditioned instructions only run on some shots, so nothing may be
+    # cancelled or merged across (or with) them
+    if instr.condition is not None:
+        return True
+    return isinstance(instr.operation, (Measure, Reset, Barrier, Initialize))
 
 
 def _same_operands(a: CircuitInstruction, b: CircuitInstruction) -> bool:
@@ -77,7 +84,7 @@ def cancel_adjacent_inverses(circuit: QuantumCircuit) -> QuantumCircuit:
         index = 0
         while index < len(data):
             current = data[index]
-            partner = _find_adjacent_partner(data, index)
+            partner = None if _is_blocker(current) else _find_adjacent_partner(data, index)
             if partner is not None:
                 nxt = data[partner]
                 names = (current.operation.name, nxt.operation.name)
@@ -105,7 +112,7 @@ def _find_adjacent_partner(data: List[CircuitInstruction], index: int) -> Option
         overlap = touched.intersection(candidate.qubits)
         if not overlap:
             continue
-        if _is_blocker(candidate.operation):
+        if _is_blocker(candidate):
             return None
         if set(candidate.qubits) == touched:
             return j
@@ -119,7 +126,7 @@ def merge_rotations(circuit: QuantumCircuit) -> QuantumCircuit:
     result: List[CircuitInstruction] = []
     for instr in data:
         name = instr.operation.name
-        if name in _ROTATIONS and result:
+        if name in _ROTATIONS and result and instr.condition is None:
             partner_index = _mergeable_rotation(result, instr)
             if partner_index is not None:
                 prev = result[partner_index]
@@ -143,7 +150,11 @@ def _mergeable_rotation(result: List[CircuitInstruction], instr: CircuitInstruct
         candidate = result[j]
         if target not in candidate.qubits:
             continue
-        if candidate.operation.name == instr.operation.name and candidate.qubits == instr.qubits:
+        if (
+            candidate.condition is None
+            and candidate.operation.name == instr.operation.name
+            and candidate.qubits == instr.qubits
+        ):
             return j
         return None
     return None
@@ -154,10 +165,11 @@ def remove_identities(circuit: QuantumCircuit) -> QuantumCircuit:
     kept: List[CircuitInstruction] = []
     for instr in circuit.data:
         name = instr.operation.name
-        if name == "id":
-            continue
-        if name in _ROTATIONS and abs(math.remainder(instr.operation.params[0], _ROTATIONS[name])) < _ANGLE_ATOL:
-            continue
+        if instr.condition is None:
+            if name == "id":
+                continue
+            if name in _ROTATIONS and abs(math.remainder(instr.operation.params[0], _ROTATIONS[name])) < _ANGLE_ATOL:
+                continue
         kept.append(instr)
     return _rebuild(circuit, kept, "_noid")
 

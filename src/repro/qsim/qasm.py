@@ -12,14 +12,20 @@ module implements both directions of that interoperability path:
   letter, non-identifier characters, qreg/creg name collisions) are
   sanitised so the emitted program always re-parses.
 
-* :func:`from_qasm` / :func:`from_qasm_file` parse an OpenQASM 2.0 program
-  into a :class:`~repro.qsim.circuit.QuantumCircuit` via a hand-written
-  tokenizer and recursive-descent parser.  The supported subset covers the
-  header, ``include "qelib1.inc"``, register declarations, the qelib1 gate
-  set, parameter expressions, user ``gate`` definitions (inlined at the
-  call site), ``measure``/``reset``/``barrier`` and register broadcast.
-  Classical conditions (``if``) and ``opaque`` declarations raise
-  :class:`~repro.qsim.exceptions.QasmError` with a clear
+* :func:`from_qasm` / :func:`from_qasm_file` parse an OpenQASM 2.0 *or*
+  OpenQASM 3 (subset) program into a
+  :class:`~repro.qsim.circuit.QuantumCircuit` via a hand-written tokenizer
+  and recursive-descent parser.  The 2.0 subset covers the header,
+  ``include "qelib1.inc"``, register declarations, the qelib1 gate set,
+  parameter expressions, user ``gate`` definitions (inlined at the call
+  site), ``measure``/``reset``/``barrier``, register broadcast and
+  classically-conditioned operations (``if (c == n) qop;``).  An
+  ``OPENQASM 3;`` header switches the same machinery into QASM3 mode,
+  adding ``qubit[n]``/``bit[n]`` declarations,
+  ``include "stdgates.inc"``, ``if (c == n) { ... }`` blocks,
+  ``c = measure q;`` assignment measurement and ``ctrl @`` gate
+  modifiers.  ``opaque`` declarations and QASM3 features outside the
+  subset raise :class:`~repro.qsim.exceptions.QasmError` with a clear
   unsupported-feature message; every syntax or semantic error names the
   1-based source line and column.  See ``docs/qasm.md`` for the guide.
 """
@@ -33,7 +39,17 @@ from typing import Callable, Dict, List, NamedTuple, Optional, Sequence, Tuple, 
 
 from .circuit import QuantumCircuit, SourceSpan
 from .exceptions import CircuitError, QasmError
-from .instruction import Barrier, Gate, Initialize, Measure, Reset
+from .instruction import (
+    Barrier,
+    ControlledGate,
+    Gate,
+    Initialize,
+    Measure,
+    Reset,
+    mcp_gate,
+    mcx_gate,
+    mcz_gate,
+)
 from .registers import ClassicalRegister, Clbit, QuantumRegister, Qubit
 
 __all__ = ["to_qasm", "from_qasm", "from_qasm_file"]
@@ -97,22 +113,28 @@ def to_qasm(circuit: QuantumCircuit, lower: bool = True) -> str:
     for instr in target.data:
         op = instr.operation
         qubit_refs = [f"{names[q.register]}[{q.index}]" for q in instr.qubits]
+        prefix = ""
+        if instr.condition is not None:
+            creg, value = instr.condition
+            prefix = f"if({names[creg]}=={value}) "
         if isinstance(op, Barrier):
             lines.append(f"barrier {', '.join(qubit_refs)};")
             continue
         if isinstance(op, Measure):
             clbit = instr.clbits[0]
-            lines.append(f"measure {qubit_refs[0]} -> {names[clbit.register]}[{clbit.index}];")
+            lines.append(
+                f"{prefix}measure {qubit_refs[0]} -> {names[clbit.register]}[{clbit.index}];"
+            )
             continue
         if isinstance(op, Reset):
-            lines.append(f"reset {qubit_refs[0]};")
+            lines.append(f"{prefix}reset {qubit_refs[0]};")
             continue
         if op.name in _SIMPLE_GATES:
-            lines.append(f"{op.name} {', '.join(qubit_refs)};")
+            lines.append(f"{prefix}{op.name} {', '.join(qubit_refs)};")
             continue
         if op.name in _PARAM_GATES:
             params = ", ".join(_format_param(p) for p in op.params)
-            lines.append(f"{op.name}({params}) {', '.join(qubit_refs)};")
+            lines.append(f"{prefix}{op.name}({params}) {', '.join(qubit_refs)};")
             continue
         raise CircuitError(f"instruction {op.name!r} has no OpenQASM 2.0 form")
     return "\n".join(lines) + "\n"
@@ -213,7 +235,7 @@ _TOKEN_RE = re.compile(
   | (?P<id>[A-Za-z_][A-Za-z0-9_]*)
   | (?P<string>"[^"\n]*")
   | (?P<badstring>"[^"\n]*)
-  | (?P<symbol>->|==|[;,()\[\]{}+\-*/^])
+  | (?P<symbol>->|==|[;,()\[\]{}+\-*/^@=])
     """,
     re.VERBOSE,
 )
@@ -285,6 +307,27 @@ class _MacroGate(NamedTuple):
 def _gate_size(spec) -> int:
     """Instructions one call to *spec* expands to (natives count as one)."""
     return spec.size if isinstance(spec, _MacroGate) else 1
+
+
+def _controlled_gate(base: Gate, num_controls: int) -> Gate:
+    """The registry gate realising ``ctrl @``x*num_controls* applied to *base*.
+
+    Combinations with a dedicated registry gate (``ctrl @ x`` -> ``cx``,
+    ``ctrl @ ctrl @ x`` -> ``ccx``, ``ctrl @ swap`` -> ``cswap``, ...) map
+    onto it; higher control counts of x/z/p use the multi-controlled
+    helpers; anything else becomes a generic :class:`ControlledGate`.
+    """
+    name = "c" * num_controls + base.name
+    arity = _CTRL_NATIVE_ARITY.get(name)
+    if arity is not None:
+        return Gate(name, arity, list(base.params))
+    if base.name == "x" and not base.params:
+        return mcx_gate(num_controls)
+    if base.name == "z" and not base.params:
+        return mcz_gate(num_controls)
+    if base.name == "p":
+        return mcp_gate(base.params[0], num_controls)
+    return ControlledGate(base, num_controls)
 
 
 def _native(qasm_name: str, num_params: int, num_qubits: int, registry_name: str,
@@ -390,8 +433,30 @@ _MAX_REGISTER_SIZE = 100_000
 #: statement keywords that must not name a gate — a definition would parse
 #: but its call site would be intercepted by the statement dispatcher
 _STATEMENT_KEYWORDS = frozenset(
-    {"OPENQASM", "include", "qreg", "creg", "gate", "opaque", "if", "measure", "reset", "barrier"}
+    {
+        "OPENQASM", "include", "qreg", "creg", "gate", "opaque", "if",
+        "measure", "reset", "barrier", "qubit", "bit", "ctrl",
+    }
 )
+
+#: OpenQASM 3 constructs deliberately outside the supported subset; naming
+#: them explicitly turns "unknown gate 'for'" into an actionable error
+_QASM3_UNSUPPORTED = frozenset(
+    {
+        "for", "while", "def", "return", "input", "output", "const", "let",
+        "array", "angle", "float", "int", "uint", "bool", "complex",
+        "duration", "stretch", "box", "delay", "defcal", "defcalgrammar",
+        "cal", "extern", "switch", "case", "default", "break", "continue",
+        "end", "pragma", "gphase", "negctrl", "inv", "pow",
+    }
+)
+
+#: ``ctrl @`` combinations with a dedicated registry gate, keyed by the
+#: would-be name ("c" * controls + base); value is the gate's total arity
+_CTRL_NATIVE_ARITY = {
+    "cx": 2, "ccx": 3, "cy": 2, "cz": 2, "ch": 2, "cswap": 3,
+    "cp": 2, "crx": 2, "cry": 2, "crz": 2,
+}
 
 #: nesting ceilings keeping pathological inputs from blowing the Python
 #: stack with a raw RecursionError instead of a positioned QasmError
@@ -435,6 +500,10 @@ class _QasmParser:
         self._included_qelib1 = False
         self._expr_depth = 0
         self._expanded_ops = 0
+        self._version = 2
+        #: the ``(creg, value)`` condition of the enclosing ``if``, stamped
+        #: onto every instruction appended while it is set
+        self._condition: Optional[Tuple[ClassicalRegister, int]] = None
 
     # -- token plumbing -----------------------------------------------------
 
@@ -481,15 +550,20 @@ class _QasmParser:
     def _parse_header(self) -> None:
         token = self._peek()
         if token.type != "id" or token.value != "OPENQASM":
-            raise self._error("expected 'OPENQASM 2.0;' header", token)
+            raise self._error("expected 'OPENQASM 2.0;' or 'OPENQASM 3;' header", token)
         self._advance()
         version = self._peek()
         if version.type not in ("real", "int"):
             raise self._error("expected a version number after 'OPENQASM'", version)
         self._advance()
-        if float(version.value) != 2.0:
+        if float(version.value) == 2.0:
+            self._version = 2
+        elif float(version.value) == 3.0:
+            self._version = 3
+        else:
             raise self._error(
-                f"unsupported OpenQASM version {version.value} (only 2.0 is supported)",
+                f"unsupported OpenQASM version {version.value} "
+                "(supported: 2.0 and 3)",
                 version,
             )
         self._expect(";")
@@ -503,6 +577,14 @@ class _QasmParser:
             self._parse_include()
         elif keyword in ("qreg", "creg"):
             self._parse_register_decl()
+        elif keyword in ("qubit", "bit"):
+            if self._version < 3:
+                raise self._error(
+                    f"'{keyword}' declarations require an 'OPENQASM 3;' header "
+                    "(use qreg/creg in OpenQASM 2.0)",
+                    token,
+                )
+            self._parse_v3_register_decl()
         elif keyword == "gate":
             self._parse_gate_definition()
         elif keyword == "opaque":
@@ -512,18 +594,23 @@ class _QasmParser:
                 token,
             )
         elif keyword == "if":
-            raise self._error(
-                "unsupported feature: classically-conditioned operations "
-                "('if (c==n) ...') are not supported by the importer; rewrite the "
-                "circuit with deferred measurement",
-                token,
-            )
+            self._parse_if()
         elif keyword == "measure":
             self._parse_measure()
         elif keyword == "reset":
             self._parse_reset()
         elif keyword == "barrier":
             self._parse_barrier()
+        elif self._version >= 3 and keyword == "ctrl":
+            self._parse_gate_call(num_controls=self._parse_ctrl_modifiers())
+        elif self._version >= 3 and keyword in _QASM3_UNSUPPORTED:
+            raise self._error(
+                f"unsupported OpenQASM 3 feature: {keyword!r} is outside the "
+                "supported subset (see docs/qasm.md)",
+                token,
+            )
+        elif self._version >= 3 and self._next_is_assignment():
+            self._parse_v3_measure_assignment()
         else:
             self._parse_gate_call()
 
@@ -531,9 +618,11 @@ class _QasmParser:
         self._advance()
         filename = self._expect("string", "a quoted filename")
         self._expect(";")
-        if filename.value != "qelib1.inc":
+        allowed = ("qelib1.inc", "stdgates.inc") if self._version >= 3 else ("qelib1.inc",)
+        if filename.value not in allowed:
+            bundled = " or ".join(f'"{inc}"' for inc in allowed)
             raise self._error(
-                f'unsupported include "{filename.value}" (only "qelib1.inc" is bundled)',
+                f'unsupported include "{filename.value}" (only {bundled} is bundled)',
                 filename,
             )
         if self._included_qelib1:
@@ -577,6 +666,115 @@ class _QasmParser:
             self._cregs[name.value] = register
         self.circuit.add_register(register)
         self.circuit.register_spans[register] = self._span((kind.line, kind.column))
+
+    def _parse_v3_register_decl(self) -> None:
+        """OpenQASM 3 ``qubit[n] name;`` / ``bit[n] name;`` (bare = size 1)."""
+        kind = self._advance()
+        size_token: Optional[_Token] = None
+        size = 1
+        if self._peek().type == "[":
+            self._advance()
+            size_token = self._expect("int", "a register size")
+            self._expect("]")
+            size = size_token.value
+        name = self._expect("id", "a register name")
+        self._expect(";")
+        if name.value in self._qregs or name.value in self._cregs:
+            raise self._error(f"register {name.value!r} is already declared", name)
+        if size <= 0:
+            raise self._error(
+                f"register size must be positive, got {size}", size_token or name
+            )
+        if size > _MAX_REGISTER_SIZE:
+            raise self._error(
+                f"register size {size} exceeds the supported maximum "
+                f"of {_MAX_REGISTER_SIZE}",
+                size_token or name,
+            )
+        register: Union[QuantumRegister, ClassicalRegister]
+        if kind.value == "qubit":
+            register = QuantumRegister(size, name.value)
+            self._qregs[name.value] = register
+        else:
+            register = ClassicalRegister(size, name.value)
+            self._cregs[name.value] = register
+        self.circuit.add_register(register)
+        self.circuit.register_spans[register] = self._span((kind.line, kind.column))
+
+    # -- classical control flow ----------------------------------------------
+
+    def _parse_if(self) -> None:
+        """``if (creg == n) qop;`` (2.0) or ``if (creg == n) { ... }`` (3)."""
+        self._advance()
+        self._expect("(")
+        name = self._expect("id", "a classical register name")
+        register = self._cregs.get(name.value)
+        if register is None:
+            if name.value in self._qregs:
+                raise self._error(
+                    f"{name.value!r} is a quantum register; an 'if' condition "
+                    "compares a classical register",
+                    name,
+                )
+            raise self._error(f"undeclared classical register {name.value!r}", name)
+        self._expect("==", "'=='")
+        value = self._expect("int", "an integer comparison value")
+        if not 0 <= value.value < 2 ** register.size:
+            raise self._error(
+                f"comparison value {value.value} does not fit in classical "
+                f"register {name.value!r} of size {register.size}",
+                value,
+            )
+        self._expect(")")
+        self._condition = (register, value.value)
+        try:
+            if self._version >= 3 and self._peek().type == "{":
+                self._advance()
+                while self._peek().type != "}":
+                    self._parse_conditioned_statement()
+                self._expect("}")
+            else:
+                self._parse_conditioned_statement()
+        finally:
+            self._condition = None
+
+    def _parse_conditioned_statement(self) -> None:
+        """One statement in the scope of an ``if`` condition.
+
+        Only quantum operations may be conditioned: gate calls, ``measure``
+        and ``reset`` (plus ``ctrl @`` calls and assignment measurement in
+        QASM3 mode).  Declarations, includes, nested ``if`` and ``barrier``
+        raise a positioned error.
+        """
+        token = self._peek()
+        if token.type != "id":
+            raise self._error(
+                f"expected a conditioned operation, found {self._describe(token)}",
+                token,
+            )
+        keyword = token.value
+        if keyword == "measure":
+            self._parse_measure()
+        elif keyword == "reset":
+            self._parse_reset()
+        elif self._version >= 3 and keyword == "ctrl":
+            self._parse_gate_call(num_controls=self._parse_ctrl_modifiers())
+        elif keyword in _STATEMENT_KEYWORDS:
+            raise self._error(
+                f"{keyword!r} statements cannot be classically conditioned "
+                "(only gate calls, measure and reset can)",
+                token,
+            )
+        elif self._version >= 3 and keyword in _QASM3_UNSUPPORTED:
+            raise self._error(
+                f"unsupported OpenQASM 3 feature: {keyword!r} is outside the "
+                "supported subset (see docs/qasm.md)",
+                token,
+            )
+        elif self._version >= 3 and self._next_is_assignment():
+            self._parse_v3_measure_assignment()
+        else:
+            self._parse_gate_call()
 
     # -- gate definitions ---------------------------------------------------
 
@@ -714,13 +912,56 @@ class _QasmParser:
             )
         span = self._span((keyword.line, keyword.column))
         for qubit, clbit in zip(sources, targets):
-            self.circuit.append(Measure(), [qubit], [clbit], span=span)
+            self.circuit.append(
+                Measure(), [qubit], [clbit], span=span, condition=self._condition
+            )
+
+    def _parse_v3_measure_assignment(self) -> None:
+        """OpenQASM 3 assignment measurement: ``c = measure q;``."""
+        start = self._peek()
+        targets = self._parse_classical_argument()
+        self._expect("=", "'='")
+        keyword = self._expect("id", "'measure'")
+        if keyword.value != "measure":
+            raise self._error(
+                "only 'measure' may appear on the right-hand side of an "
+                f"assignment, found {self._describe(keyword)}",
+                keyword,
+            )
+        sources = self._parse_quantum_argument()
+        self._expect(";")
+        if len(sources) != len(targets):
+            raise self._error(
+                f"measure source and target sizes differ "
+                f"({len(sources)} qubits vs {len(targets)} bits)",
+                start,
+            )
+        span = self._span((start.line, start.column))
+        for qubit, clbit in zip(sources, targets):
+            self.circuit.append(
+                Measure(), [qubit], [clbit], span=span, condition=self._condition
+            )
+
+    def _next_is_assignment(self) -> bool:
+        """Lookahead: current id starts ``name = ...`` or ``name[i] = ...``."""
+        tokens = self._tokens
+        i = self._pos + 1
+        if tokens[i].type == "[":
+            if (
+                i + 2 < len(tokens)
+                and tokens[i + 1].type == "int"
+                and tokens[i + 2].type == "]"
+            ):
+                i += 3
+            else:
+                return False
+        return tokens[i].type == "="
 
     def _parse_reset(self) -> None:
         keyword = self._advance()
         span = self._span((keyword.line, keyword.column))
         for qubit in self._parse_quantum_argument():
-            self.circuit.append(Reset(), [qubit], span=span)
+            self.circuit.append(Reset(), [qubit], span=span, condition=self._condition)
         self._expect(";")
 
     def _parse_barrier(self) -> None:
@@ -737,11 +978,26 @@ class _QasmParser:
         except CircuitError as exc:
             raise QasmError(str(exc), keyword.line, keyword.column) from exc
 
-    def _parse_gate_call(self) -> None:
+    def _parse_ctrl_modifiers(self) -> int:
+        """Consume a chain of ``ctrl @`` prefixes, returning its length."""
+        num_controls = 0
+        while self._peek().type == "id" and self._peek().value == "ctrl":
+            self._advance()
+            self._expect("@", "'@' after 'ctrl'")
+            num_controls += 1
+        return num_controls
+
+    def _parse_gate_call(self, num_controls: int = 0) -> None:
         name = self._advance()
         spec = self._gates.get(name.value)
         if spec is None:
             raise self._error(self._unknown_gate_message(name.value), name)
+        if num_controls and not isinstance(spec, _NativeGate):
+            raise self._error(
+                f"'ctrl @' cannot be applied to user-defined gate {name.value!r} "
+                "(only standard-library gates can be controlled)",
+                name,
+            )
         params: List[float] = []
         if self._peek().type == "(":
             self._advance()
@@ -762,9 +1018,11 @@ class _QasmParser:
                 f"got {len(params)}",
                 name,
             )
-        if len(arguments) != spec.num_qubits:
+        expected_qubits = spec.num_qubits + num_controls
+        if len(arguments) != expected_qubits:
+            call = "ctrl @ " * num_controls + str(name.value)
             raise self._error(
-                f"gate {name.value!r} expects {spec.num_qubits} qubit argument(s), "
+                f"gate {call!r} expects {expected_qubits} qubit argument(s), "
                 f"got {len(arguments)}",
                 name,
             )
@@ -788,9 +1046,30 @@ class _QasmParser:
         try:
             for i in range(repeat):
                 qubits = [arg[i] if len(arg) > 1 else arg[0] for arg in arguments]
-                self._apply_gate(spec, params, qubits, (name.line, name.column))
+                if num_controls:
+                    self._apply_controlled(
+                        spec, num_controls, params, qubits, (name.line, name.column)
+                    )
+                else:
+                    self._apply_gate(spec, params, qubits, (name.line, name.column))
         except CircuitError as exc:
             raise QasmError(str(exc), name.line, name.column) from exc
+
+    def _apply_controlled(
+        self,
+        spec: _NativeGate,
+        num_controls: int,
+        params: Sequence[float],
+        qubits: Sequence[Qubit],
+        loc: Tuple[int, int],
+    ) -> None:
+        for value in params:
+            if not math.isfinite(value):
+                raise QasmError(f"non-finite gate parameter {value}", *loc)
+        gate = _controlled_gate(spec.build(list(params)), num_controls)
+        self.circuit.append(
+            gate, list(qubits), span=self._span(loc), condition=self._condition
+        )
 
     def _apply_gate(
         self,
@@ -814,8 +1093,13 @@ class _QasmParser:
                 if not math.isfinite(value):
                     raise QasmError(f"non-finite gate parameter {value}", *loc)
             # macro expansions carry the *call-site* loc, so every expanded
-            # instruction of `mygate q;` points at that statement
-            self.circuit.append(spec.build(params), list(qubits), span=self._span(loc))
+            # instruction of `mygate q;` points at that statement; a condition
+            # on the call distributes over every expanded gate (exact, since
+            # a gate body never writes the condition's register)
+            self.circuit.append(
+                spec.build(params), list(qubits),
+                span=self._span(loc), condition=self._condition,
+            )
             return
         env = dict(zip(spec.params, params))
         binding = dict(zip(spec.qubits, qubits))
@@ -1032,13 +1316,20 @@ class _QasmParser:
 def from_qasm(
     source: str, name: str = "from_qasm", filename: Optional[str] = None
 ) -> QuantumCircuit:
-    """Parse an OpenQASM 2.0 program string into a :class:`QuantumCircuit`.
+    """Parse an OpenQASM 2.0 or OpenQASM 3 (subset) program string.
+
+    The header selects the dialect: ``OPENQASM 2.0;`` gives the full 2.0
+    subset including ``if (c == n) qop;`` conditionals, ``OPENQASM 3;``
+    additionally enables ``qubit[n]``/``bit[n]`` declarations,
+    ``include "stdgates.inc"``, ``if (c == n) { ... }`` blocks,
+    ``c = measure q;`` and ``ctrl @`` gate modifiers.
 
     Raises :class:`~repro.qsim.exceptions.QasmError` (with the 1-based source
     line and column) for syntax errors, undeclared registers, out-of-range
-    indices, unknown gates and unsupported features (``if``, ``opaque``,
-    includes other than ``qelib1.inc``).  See ``docs/qasm.md`` for the exact
-    supported subset and the qelib1 mapping table.
+    indices, unknown gates and unsupported features (``opaque``, QASM3
+    constructs outside the subset, includes other than the bundled ones).
+    See ``docs/qasm.md`` for the exact supported subset and the qelib1
+    mapping table.
 
     Every appended instruction carries a
     :class:`~repro.qsim.circuit.SourceSpan` with its 1-based statement
@@ -1051,7 +1342,7 @@ def from_qasm(
 
 
 def from_qasm_file(path: Union[str, "os.PathLike"], name: Optional[str] = None) -> QuantumCircuit:
-    """Parse the OpenQASM 2.0 file at *path* (circuit named after the file)."""
+    """Parse the OpenQASM 2.0/3 file at *path* (circuit named after the file)."""
     with open(path, "r", encoding="utf-8") as handle:
         source = handle.read()
     if name is None:

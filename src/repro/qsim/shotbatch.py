@@ -87,6 +87,8 @@ def ineligible_reason(
         return "circuit has no qubits"
     if noise_model is not None and noise_model.pauli_terms() is None:
         return "noise model is not a single-qubit Pauli channel"
+    if circuit.has_conditions():
+        return "circuit has classically-conditioned instructions"
     if not measurements_are_final(circuit):
         return "circuit has mid-circuit measurements"
     for instr in circuit.data:

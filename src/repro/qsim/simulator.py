@@ -41,6 +41,7 @@ __all__ = [
     "Result",
     "SIMULATOR_MAX_FUSED_QUBITS",
     "measurements_are_final",
+    "condition_met",
     "format_bits",
 ]
 
@@ -59,11 +60,16 @@ def measurements_are_final(circuit: QuantumCircuit) -> bool:
     """Whether no gate touches a measured qubit after its measurement.
 
     Shared by every engine: circuits with only-final measurements can be
-    evolved once and sampled, instead of simulated shot by shot.
+    evolved once and sampled, instead of simulated shot by shot.  Any
+    classically-conditioned instruction also returns ``False`` -- the
+    condition reads the classical register mid-circuit, so every shot must
+    be simulated with genuine collapse to know which branch it takes.
     """
     measured: set = set()
     for instr in circuit.data:
         op = instr.operation
+        if instr.condition is not None:
+            return False
         if isinstance(op, Measure):
             measured.add(instr.qubits[0])
         elif isinstance(op, Barrier):
@@ -72,6 +78,26 @@ def measurements_are_final(circuit: QuantumCircuit) -> bool:
             if any(q in measured for q in instr.qubits):
                 return False
     return True
+
+
+def condition_met(
+    circuit: QuantumCircuit,
+    condition: Optional[tuple],
+    bits: Dict[int, int],
+) -> bool:
+    """Evaluate an instruction ``condition`` against the per-shot *bits* dict.
+
+    The register value is assembled little-endian from *bits* (clbit global
+    index -> 0/1); bits never written read as 0, matching hardware where the
+    classical register starts zeroed.  A ``None`` condition is trivially met.
+    """
+    if condition is None:
+        return True
+    creg, value = condition
+    register_value = 0
+    for position, clbit in enumerate(creg):
+        register_value |= bits.get(circuit.clbit_index(clbit), 0) << position
+    return register_value == value
 
 
 def format_bits(bits: Dict[int, int], num_clbits: int) -> str:
@@ -190,11 +216,24 @@ class StatevectorSimulator:
         """
         circuit = self._prepare(circuit)
         state = self._initial_state(circuit, initial_state)
+        bits: Dict[int, int] = {}
         for instr in circuit.data:
             op = instr.operation
+            if instr.condition is not None and not collapse_measurements:
+                raise SimulationError(
+                    "cannot evolve a classically-conditioned circuit without "
+                    "collapse_measurements=True: the condition depends on "
+                    "measurement outcomes"
+                )
+            if not condition_met(circuit, instr.condition, bits):
+                continue
             if isinstance(op, Measure):
                 if collapse_measurements:
-                    state.measure([circuit.qubit_index(q) for q in instr.qubits], rng=self._rng)
+                    outcome = state.measure(
+                        [circuit.qubit_index(q) for q in instr.qubits], rng=self._rng
+                    )
+                    if instr.clbits:
+                        bits[circuit.clbit_index(instr.clbits[0])] = outcome & 1
                 continue
             self._apply(state, circuit, instr)
         return state
@@ -322,6 +361,8 @@ class StatevectorSimulator:
             bits: Dict[int, int] = {}
             for instr in circuit.data:
                 op = instr.operation
+                if not condition_met(circuit, instr.condition, bits):
+                    continue
                 if isinstance(op, Measure):
                     qubit = circuit.qubit_index(instr.qubits[0])
                     clbit = circuit.clbit_index(instr.clbits[0])

@@ -486,11 +486,27 @@ class StabilizerTableau:
 # circuit compilation
 # ---------------------------------------------------------------------------
 
-#: ("gate", method_name, qubits) | ("table", table, qubits) |
-#: ("initialize", basis_value, qubits) |
-#: ("measure", clbit, (qubit,)) | ("reset", None, (qubit,)) |
-#: ("noise", None, qubits) -- error-injection point after a unitary instruction
-_CompiledOp = Tuple[str, Any, Tuple[int, ...]]
+#: ("gate", method_name, qubits, cond) | ("table", table, qubits, cond) |
+#: ("initialize", basis_value, qubits, cond) |
+#: ("measure", clbit, (qubit,), cond) | ("reset", None, (qubit,), cond) |
+#: ("noise", None, qubits, cond) -- error-injection point after a unitary
+#: instruction.  ``cond`` is ``None`` or ``(clbit_indices, value)``: the op
+#: executes in a shot only when the little-endian integer over those clbits
+#: equals *value* -- which forces the concrete per-shot path (see run()).
+_CompiledOp = Tuple[str, Any, Tuple[int, ...], Optional[Tuple[Tuple[int, ...], int]]]
+
+
+def _compiled_condition_met(
+    condition: Optional[Tuple[Tuple[int, ...], int]], bits: Dict[int, int]
+) -> bool:
+    """Evaluate a compiled-op condition against a per-shot clbit dict."""
+    if condition is None:
+        return True
+    clbit_indices, value = condition
+    register_value = 0
+    for position, clbit in enumerate(clbit_indices):
+        register_value |= bits.get(clbit, 0) << position
+    return register_value == value
 
 
 def _compile(circuit: QuantumCircuit, noise: bool = False) -> Tuple[List[_CompiledOp], int]:
@@ -513,6 +529,10 @@ def _compile(circuit: QuantumCircuit, noise: bool = False) -> Tuple[List[_Compil
     events = 0
     for instr in circuit.data:
         op = instr.operation
+        condition: Optional[Tuple[Tuple[int, ...], int]] = None
+        if instr.condition is not None:
+            creg, value = instr.condition
+            condition = (tuple(circuit.clbit_index(c) for c in creg), value)
         classification = _clifford_classification(op)
         if classification is None:
             if isinstance(op, Initialize):
@@ -532,23 +552,28 @@ def _compile(circuit: QuantumCircuit, noise: bool = False) -> Tuple[List[_Compil
                 continue
             targets = tuple(circuit.qubit_index(q) for q in instr.qubits)
             if isinstance(op, Measure):
-                ops.append(("measure", circuit.clbit_index(instr.clbits[0]), targets[:1]))
+                ops.append(
+                    ("measure", circuit.clbit_index(instr.clbits[0]), targets[:1], condition)
+                )
             else:  # Reset
-                ops.append(("reset", None, targets[:1]))
+                ops.append(("reset", None, targets[:1], condition))
             events += 1
             continue
         targets = tuple(circuit.qubit_index(q) for q in instr.qubits)
         if kind == "initialize":
-            ops.append(("initialize", payload, targets))
+            ops.append(("initialize", payload, targets, condition))
         elif kind == "sequence":
             for name, local_indices in payload:
-                ops.append(("gate", name, tuple(targets[i] for i in local_indices)))
+                ops.append(
+                    ("gate", name, tuple(targets[i] for i in local_indices), condition)
+                )
             if noise:
-                ops.append(("noise", None, targets))
+                # noise fires only when the gate it follows actually executed
+                ops.append(("noise", None, targets, condition))
         else:  # "table"
-            ops.append(("table", payload, targets))
+            ops.append(("table", payload, targets, condition))
             if noise:
-                ops.append(("noise", None, targets))
+                ops.append(("noise", None, targets, condition))
     return ops, events
 
 
@@ -662,9 +687,16 @@ class StabilizerSimulator:
         noise_columns = 0
         if encoding is not None:
             per_qubit = 1 if encoding[0] == "single" else 2
-            touches = sum(len(targets) for kind, _, targets in ops if kind == "noise")
+            touches = sum(len(targets) for kind, _, targets, _ in ops if kind == "noise")
             noise_columns = per_qubit * touches
         capacity = max_events + noise_columns
+        if any(condition is not None for _, _, _, condition in ops):
+            # a classical condition reads concrete clbit values mid-circuit,
+            # which the symbolic phase frame cannot branch on: fall back to
+            # re-evolving a concrete tableau per shot (works noiselessly too)
+            return self._run_per_shot(
+                ops, circuit.num_qubits, circuit.num_clbits, shots, memory, rng, encoding
+            )
         if encoding is not None and self._use_per_shot(circuit.num_qubits, capacity):
             return self._run_per_shot(
                 ops, circuit.num_qubits, circuit.num_clbits, shots, memory, rng, encoding
@@ -673,7 +705,7 @@ class StabilizerSimulator:
         tableau = StabilizerTableau(circuit.num_qubits, max_symbols=capacity)
         recorded: List[Tuple[int, np.ndarray]] = []
         specs: List[_SymbolSpec] = []
-        for kind, payload, targets in ops:
+        for kind, payload, targets, _ in ops:
             if kind == "gate":
                 getattr(tableau, payload)(*targets)
             elif kind == "table":
@@ -711,7 +743,16 @@ class StabilizerSimulator:
         encoding = self._noise_encoding()
         ops, _ = _compile(circuit, noise=encoding is not None)
         tableau = StabilizerTableau(circuit.num_qubits)
-        for kind, payload, targets in ops:
+        bits: Dict[int, int] = {}
+        for kind, payload, targets, condition in ops:
+            if condition is not None and not collapse_measurements:
+                raise SimulationError(
+                    "cannot evolve a classically-conditioned circuit without "
+                    "collapse_measurements=True: the condition depends on "
+                    "measurement outcomes"
+                )
+            if not _compiled_condition_met(condition, bits):
+                continue
             if kind == "gate":
                 getattr(tableau, payload)(*targets)
             elif kind == "table":
@@ -723,7 +764,7 @@ class StabilizerSimulator:
                     self._inject_concrete(tableau, qubit, encoding, self._rng)
             elif kind == "measure":
                 if collapse_measurements:
-                    tableau.measure(targets[0], rng=self._rng)
+                    bits[payload] = tableau.measure(targets[0], rng=self._rng)
             else:
                 tableau.reset(targets[0], rng=self._rng)
         return tableau
@@ -791,16 +832,23 @@ class StabilizerSimulator:
         shots: int,
         memory: bool,
         rng: np.random.Generator,
-        encoding: Tuple[str, Any],
+        encoding: Optional[Tuple[str, Any]],
     ) -> Result:
-        """Concrete fallback: re-evolve the tableau for every shot."""
+        """Concrete fallback: re-evolve the tableau for every shot.
+
+        Also the execution path for classically-conditioned Clifford
+        circuits (with or without noise): each shot evaluates conditions
+        against its own concrete clbit values.
+        """
         counts: Dict[str, int] = {}
         shot_values: List[str] = []
         measured = False
         for _ in range(shots):
             tableau = StabilizerTableau(num_qubits)
             bits: Dict[int, int] = {}
-            for kind, payload, targets in ops:
+            for kind, payload, targets, condition in ops:
+                if not _compiled_condition_met(condition, bits):
+                    continue
                 if kind == "gate":
                     getattr(tableau, payload)(*targets)
                 elif kind == "table":

@@ -140,7 +140,15 @@ def decompose(circuit: QuantumCircuit) -> QuantumCircuit:
         ancillas = list(anc_reg)
 
     for instr in circuit.data:
+        start = len(out.data)
         _lower_instruction(out, instr, ancillas)
+        if instr.condition is not None:
+            # distribute the condition over every emitted sub-instruction;
+            # exact because lowering only emits unitaries (which never write
+            # the classical register the condition reads) plus the original
+            # measure/reset passthroughs
+            for lowered in out.data[start:]:
+                lowered.condition = instr.condition
     return out
 
 

@@ -82,6 +82,46 @@ class TestMeasureFlow:
         )
         assert list(report) == []
 
+    def test_qa101_suppressed_for_conditioned_feedforward(self):
+        # active teleportation-style correction: conditioned gate on a
+        # measured qubit is deliberate, not a forgotten reset
+        report = lint(
+            "qreg q[1];\ncreg c[1];\nh q[0];\nmeasure q[0] -> c[0];\n"
+            "if(c==1) x q[0];\n"
+        )
+        assert [d for d in report if d.code in ("QA101", "QA104")] == []
+
+    def test_qa104_condition_before_any_measurement(self):
+        report = lint(
+            "qreg q[1];\ncreg c[1];\nif(c==1) x q[0];\nmeasure q[0] -> c[0];\n"
+        )
+        (d,) = only(report, "QA104")
+        assert d.severity is Severity.WARNING
+        assert (d.span.line, d.span.column) == (5, 10)  # the conditioned x
+        assert "'c'" in d.message and "never executes" in d.message
+
+    def test_qa104_value_zero_reports_always_executes(self):
+        report = lint(
+            "qreg q[1];\ncreg c[1];\nif(c==0) x q[0];\nmeasure q[0] -> c[0];\n"
+        )
+        (d,) = only(report, "QA104")
+        assert "always executes" in d.message
+
+    def test_qa104_reported_once_per_register(self):
+        report = lint(
+            "qreg q[1];\ncreg c[1];\nif(c==1) x q[0];\nif(c==1) y q[0];\n"
+            "measure q[0] -> c[0];\n"
+        )
+        assert len(only(report, "QA104")) == 1
+
+    def test_qa104_silenced_by_partial_register_write(self):
+        # one measured bit is enough: the register can vary at runtime
+        report = lint(
+            "qreg q[2];\ncreg c[2];\nh q[0];\nmeasure q[0] -> c[0];\n"
+            "if(c==1) x q[1];\nmeasure q[1] -> c[1];\n"
+        )
+        assert [d for d in report if d.code == "QA104"] == []
+
 
 class TestUnused:
     def test_qa201_single_unused_qubit(self):

@@ -1,0 +1,381 @@
+"""Classical control flow: cross-engine conditional execution tests.
+
+The ``condition=(creg, value)`` field must mean the same thing on every
+engine: the instruction executes in a shot iff the little-endian integer
+over the register's bits (unmeasured bits read 0) equals ``value``.  These
+tests pin that down three ways:
+
+* same-seed count agreement between the statevector per-shot path, the
+  density-matrix per-shot path and the stabilizer concrete fallback on
+  Clifford conditional circuits;
+* statistical (TVD) agreement between *active* teleportation (measure +
+  conditioned corrections) and its deferred-measurement rewrite;
+* serial vs parallel backend dispatch staying bit-for-bit equal, since the
+  chunked per-shot path derives its streams from one SeedSequence.
+"""
+
+import math
+
+import pytest
+
+from repro.qsim import QuantumCircuit
+from repro.qsim.backends import get_backend
+from repro.qsim.circuit import CircuitError
+from repro.qsim.density import DensityMatrixSimulator
+from repro.qsim.exceptions import SimulationError
+from repro.qsim.fusion import fuse_gates
+from repro.qsim.optimizer import optimize
+from repro.qsim.qasm import from_qasm, to_qasm
+from repro.qsim.registers import ClassicalRegister, QuantumRegister
+from repro.qsim.shotbatch import ineligible_reason
+from repro.qsim.simulator import StatevectorSimulator, measurements_are_final
+from repro.qsim.stabilizer import StabilizerSimulator
+from repro.qsim.transpiler import decompose
+
+
+def tvd(counts_a, counts_b):
+    """Total variation distance between two count histograms."""
+    total_a = sum(counts_a.values()) or 1
+    total_b = sum(counts_b.values()) or 1
+    keys = set(counts_a) | set(counts_b)
+    return 0.5 * sum(
+        abs(counts_a.get(k, 0) / total_a - counts_b.get(k, 0) / total_b) for k in keys
+    )
+
+
+def teleport_registers():
+    q = QuantumRegister(3, "q")
+    m0 = ClassicalRegister(1, "m0")
+    m1 = ClassicalRegister(1, "m1")
+    out = ClassicalRegister(1, "out")
+    return q, m0, m1, out
+
+
+def active_teleport(theta=0.0):
+    """Teleport RY(theta)|0> from q[0] to q[2] with live corrections."""
+    q, m0, m1, out = teleport_registers()
+    qc = QuantumCircuit(q, m0, m1, out, name="teleport_active")
+    if theta:
+        qc.ry(theta, q[0])
+    qc.h(q[1]).cx(q[1], q[2])
+    qc.cx(q[0], q[1]).h(q[0])
+    qc.measure(q[0], m0[0])
+    qc.measure(q[1], m1[0])
+    qc.x(q[2]).c_if(m1, 1)
+    qc.z(q[2]).c_if(m0, 1)
+    qc.measure(q[2], out[0])
+    return qc
+
+
+def deferred_teleport(theta=0.0):
+    """The same teleportation with corrections deferred to controlled gates."""
+    q, m0, m1, out = teleport_registers()
+    qc = QuantumCircuit(q, m0, m1, out, name="teleport_deferred")
+    if theta:
+        qc.ry(theta, q[0])
+    qc.h(q[1]).cx(q[1], q[2])
+    qc.cx(q[0], q[1]).h(q[0])
+    qc.cx(q[1], q[2])
+    qc.cz(q[0], q[2])
+    qc.measure(q[0], m0[0])
+    qc.measure(q[1], m1[0])
+    qc.measure(q[2], out[0])
+    return qc
+
+
+def conditioned_flip(value=1, size=2, execute=True):
+    """Measure a known register value, then flip q[1] iff creg == *value*."""
+    q = QuantumRegister(2, "q")
+    c = ClassicalRegister(size, "c")
+    r = ClassicalRegister(1, "r")
+    qc = QuantumCircuit(q, c, r, name="conditioned_flip")
+    prepared = value if execute else (value ^ 1) % (2**size)
+    if prepared & 1:
+        qc.x(q[0])
+    qc.measure(q[0], c[0])
+    qc.x(q[1]).c_if(c, value)
+    qc.measure(q[1], r[0])
+    return qc
+
+
+class TestConditionSemantics:
+    def test_condition_taken_and_not_taken(self):
+        sim = StatevectorSimulator(seed=1)
+        taken = sim.run(conditioned_flip(execute=True), shots=64).counts
+        skipped = sim.run(conditioned_flip(execute=False), shots=64).counts
+        assert all(key[0] == "1" for key in taken)     # r reads 1: flip ran
+        assert all(key[0] == "0" for key in skipped)   # r reads 0: flip skipped
+
+    def test_unmeasured_bits_read_zero(self):
+        # c has 2 bits but only c[0] is measured; c == 1 must still match
+        sim = StatevectorSimulator(seed=2)
+        counts = sim.run(conditioned_flip(value=1, size=2), shots=32).counts
+        assert all(key[0] == "1" for key in counts)
+
+    def test_whole_register_comparison(self):
+        # condition on c == 2 when only bit 0 is ever 1: never taken
+        sim = StatevectorSimulator(seed=3)
+        counts = sim.run(conditioned_flip(value=2, size=2, execute=True), shots=32).counts
+        # prepared value is 2 & 1 == 0, so c reads 0, not 2: no flip
+        assert all(key[0] == "0" for key in counts)
+
+    def test_conditioned_circuit_forces_per_shot(self):
+        assert not measurements_are_final(active_teleport())
+        # the deferred rewrite has only-final measurements and no conditions,
+        # so it keeps the sampled fast path
+        assert measurements_are_final(deferred_teleport())
+
+    def test_shotbatch_rejects_conditionals(self):
+        reason = ineligible_reason(active_teleport(), None)
+        assert reason is not None and "condition" in reason
+
+    def test_evolve_without_collapse_raises(self):
+        with pytest.raises(SimulationError, match="collapse_measurements=True"):
+            StatevectorSimulator(seed=0).evolve(active_teleport())
+        with pytest.raises(SimulationError, match="collapse_measurements=True"):
+            StabilizerSimulator(seed=0).evolve(active_teleport())
+
+    def test_inverse_rejected(self):
+        with pytest.raises(CircuitError, match="cannot invert"):
+            active_teleport().inverse()
+
+
+class TestConditionValidation:
+    def test_condition_value_out_of_range(self):
+        q = QuantumRegister(1, "q")
+        c = ClassicalRegister(2, "c")
+        qc = QuantumCircuit(q, c)
+        qc.x(q[0])
+        with pytest.raises(CircuitError, match="does not fit"):
+            qc.c_if(c, 4)
+        with pytest.raises(CircuitError, match="does not fit"):
+            qc.c_if(c, -1)
+
+    def test_condition_on_foreign_register(self):
+        q = QuantumRegister(1, "q")
+        qc = QuantumCircuit(q, ClassicalRegister(1, "c"))
+        other = ClassicalRegister(1, "other")
+        qc.x(q[0])
+        with pytest.raises(CircuitError, match="not in this circuit"):
+            qc.c_if(other, 1)
+
+    def test_condition_on_barrier_rejected(self):
+        q = QuantumRegister(2, "q")
+        c = ClassicalRegister(1, "c")
+        qc = QuantumCircuit(q, c)
+        qc.barrier()
+        with pytest.raises(CircuitError, match="barrier"):
+            qc.c_if(c, 1)
+
+    def test_copy_and_compose_propagate_conditions(self):
+        qc = active_teleport()
+        assert qc.copy().has_conditions()
+        target = QuantumCircuit(*qc.qregs, *qc.cregs, name="host")
+        target.compose(qc)
+        assert target.has_conditions()
+
+
+class TestCrossEngineAgreement:
+    """Same seed, same counts: the three engines share shot semantics."""
+
+    def test_statevector_vs_density_same_seed(self):
+        circuit = active_teleport()  # Clifford: outcome distribution exact
+        for seed in (0, 7, 123):
+            sv = StatevectorSimulator(seed=seed).run(circuit, shots=200, memory=True)
+            dm = DensityMatrixSimulator(seed=seed).run(circuit, shots=200, memory=True)
+            assert sv.counts == dm.counts
+            assert sv.memory == dm.memory
+
+    def test_statevector_vs_stabilizer_distribution(self):
+        # the stabilizer fallback draws measurement outcomes from its own
+        # RNG stream (tableau collapse), so agreement is distributional,
+        # not bit-for-bit: same circuit, same outcome set, TVD-close counts
+        circuit = active_teleport()
+        sv = StatevectorSimulator(seed=7).run(circuit, shots=3000)
+        st = StabilizerSimulator(seed=7).run(circuit, shots=3000)
+        assert set(sv.counts) == set(st.counts)
+        assert tvd(sv.counts, st.counts) < 0.06
+
+    def test_stabilizer_runs_conditionals_via_concrete_fallback(self):
+        # teleportation output must be |0> when theta=0: out bit always 0
+        result = StabilizerSimulator(seed=5).run(active_teleport(), shots=300)
+        assert all(key[0] == "0" for key in result.counts)
+
+    def test_noisy_stabilizer_conditionals_still_run(self):
+        from repro.qsim.noise import DepolarizingNoise
+
+        result = StabilizerSimulator(seed=5, noise_model=DepolarizingNoise(0.05)).run(
+            active_teleport(), shots=100
+        )
+        assert sum(result.counts.values()) == 100
+
+    def test_active_matches_deferred_exactly_for_clifford_input(self):
+        # theta=0 teleports |0>: both variants give out=0 deterministically,
+        # and the m0/m1 marginals are uniform; compare full distributions
+        active = StatevectorSimulator(seed=11).run(active_teleport(), shots=2000)
+        deferred = StatevectorSimulator(seed=11).run(deferred_teleport(), shots=2000)
+        assert tvd(active.counts, deferred.counts) < 0.08
+
+
+@pytest.mark.slow
+class TestActiveVsDeferredTVD:
+    """Statistical equivalence of live corrections and deferred measurement."""
+
+    @pytest.mark.parametrize("theta", [0.3, 1.1, 2.5])
+    def test_teleported_qubit_distribution_matches(self, theta):
+        shots = 6000
+        active = StatevectorSimulator(seed=42).run(active_teleport(theta), shots=shots)
+        deferred = StatevectorSimulator(seed=43).run(deferred_teleport(theta), shots=shots)
+
+        def out_marginal(counts):
+            marginal = {"0": 0, "1": 0}
+            for key, count in counts.items():
+                marginal[key[0]] += count  # out is the last-declared register
+            return marginal
+
+        expected_one = math.sin(theta / 2) ** 2
+        got = out_marginal(active.counts)
+        assert abs(got["1"] / shots - expected_one) < 0.03
+        assert tvd(out_marginal(active.counts), out_marginal(deferred.counts)) < 0.03
+
+    def test_density_matrix_agrees_with_statevector_distribution(self):
+        theta = 0.9
+        shots = 4000
+        sv = StatevectorSimulator(seed=1).run(active_teleport(theta), shots=shots)
+        dm = DensityMatrixSimulator(seed=2).run(active_teleport(theta), shots=shots)
+        assert tvd(sv.counts, dm.counts) < 0.05
+
+
+class TestBackendDispatch:
+    def test_serial_and_parallel_batch_dispatch_bit_equal(self):
+        circuits = [active_teleport(), conditioned_flip()]
+        serial = get_backend("statevector").run(circuits, shots=150, seed=9).result()
+        parallel = (
+            get_backend("statevector")
+            .run(circuits, shots=150, seed=9, workers=2, executor="thread")
+            .result()
+        )
+        for a, b in zip(serial.results, parallel.results):
+            assert a.counts == b.counts
+
+    def test_serial_and_parallel_shot_chunks_bit_equal(self):
+        # the chunked per-shot path derives chunk seeds from (shots, seed)
+        # only, so 1 worker and 4 workers must merge to identical counts
+        circuit = active_teleport()
+        one = (
+            get_backend("statevector")
+            .run(circuit, shots=200, seed=9, shot_workers=1)
+            .result()
+            .get_counts()
+        )
+        four = (
+            get_backend("statevector")
+            .run(circuit, shots=200, seed=9, shot_workers=4)
+            .result()
+            .get_counts()
+        )
+        assert one == four
+
+    def test_dense_backends_bit_equal_same_seed(self):
+        circuit = active_teleport()
+        sv = get_backend("statevector").run(circuit, shots=100, seed=4).result().get_counts()
+        dm = get_backend("density_matrix").run(circuit, shots=100, seed=4).result().get_counts()
+        assert sv == dm
+
+    def test_stabilizer_backend_wraps_conditionals(self):
+        counts = (
+            get_backend("stabilizer")
+            .run(active_teleport(), shots=400, seed=4)
+            .result()
+            .get_counts()
+        )
+        assert sum(counts.values()) == 400
+        assert all(key[0] == "0" for key in counts)  # out bit always 0
+
+
+class TestTransformsPreserveConditions:
+    def test_decompose_distributes_condition(self):
+        q = QuantumRegister(3, "q")
+        c = ClassicalRegister(1, "c")
+        qc = QuantumCircuit(q, c)
+        qc.measure(q[0], c[0])
+        qc.ccx(q[0], q[1], q[2])
+        qc.c_if(c, 1)
+        lowered = decompose(qc)
+        conditioned = [i for i in lowered.data if i.condition is not None]
+        # ccx survives or lowers; either way every derived piece is conditioned
+        assert conditioned
+        assert all(i.condition == (c, 1) for i in conditioned)
+
+    def test_fusion_treats_condition_as_barrier(self):
+        qc = conditioned_flip()
+        fused = fuse_gates(qc)
+        kept = [i for i in fused.data if i.condition is not None]
+        assert len(kept) == 1
+        assert kept[0].operation.name == "x"
+
+    def test_optimizer_never_cancels_across_condition(self):
+        q = QuantumRegister(1, "q")
+        c = ClassicalRegister(1, "c")
+        qc = QuantumCircuit(q, c)
+        qc.measure(q[0], c[0])
+        qc.x(q[0])
+        qc.x(q[0]).c_if(c, 1)     # only sometimes cancels the first x
+        qc.x(q[0])
+        optimized = optimize(qc)
+        names = [i.operation.name for i in optimized.data if i.operation.name == "x"]
+        assert len(names) == 3
+
+    def test_optimizer_preserves_conditioned_identity(self):
+        q = QuantumRegister(1, "q")
+        c = ClassicalRegister(1, "c")
+        qc = QuantumCircuit(q, c)
+        qc.measure(q[0], c[0])
+        qc.id(q[0]).c_if(c, 1)
+        optimized = optimize(qc)
+        assert any(i.condition is not None for i in optimized.data)
+
+
+class TestQasmRoundTripWithConditions:
+    def test_roundtrip_equality(self):
+        qc = active_teleport()
+        text = to_qasm(qc)
+        back = from_qasm(text)
+        assert back.has_conditions()
+        conditions = [
+            (i.operation.name, i.condition[0].name, i.condition[1])
+            for i in back.data
+            if i.condition is not None
+        ]
+        assert conditions == [("x", "m1", 1), ("z", "m0", 1)]
+
+    def test_roundtrip_fixpoint(self):
+        text = to_qasm(active_teleport())
+        assert to_qasm(from_qasm(text)) == text
+
+    def test_roundtrip_preserves_semantics(self):
+        qc = active_teleport()
+        back = from_qasm(to_qasm(qc))
+        a = StatevectorSimulator(seed=21).run(qc, shots=150)
+        b = StatevectorSimulator(seed=21).run(back, shots=150)
+        assert a.counts == b.counts
+
+    def test_qasm3_conditional_block_roundtrip(self):
+        source = (
+            "OPENQASM 3;\n"
+            'include "stdgates.inc";\n'
+            "qubit[2] q;\n"
+            "bit[1] c;\n"
+            "bit[1] r;\n"
+            "h q[0];\n"
+            "c[0] = measure q[0];\n"
+            "if (c == 1) { x q[1]; }\n"
+            "r[0] = measure q[1];\n"
+        )
+        qc = from_qasm(source)
+        assert qc.has_conditions()
+        # exports as QASM2 and re-imports to the same circuit
+        back = from_qasm(to_qasm(qc))
+        a = StatevectorSimulator(seed=3).run(qc, shots=100)
+        b = StatevectorSimulator(seed=3).run(back, shots=100)
+        assert a.counts == b.counts

@@ -1,8 +1,10 @@
-"""Error-path tests for the OpenQASM 2.0 importer.
+"""Error-path tests for the OpenQASM 2.0 / OpenQASM 3 (subset) importer.
 
 Every rejected input must raise :class:`QasmError` — never a bare
 ``ValueError`` or an internal crash — and the message must name the 1-based
-source line and column of the offending token.
+source line and column of the offending token.  Covers malformed ``if``
+conditionals, QASM3-mode rejections (unsupported subset features, ``ctrl``
+misuse, assignment measurement) and dialect mixups in both directions.
 """
 
 import pytest
@@ -28,9 +30,11 @@ class TestMalformedHeaders:
         assert "OPENQASM 2.0" in str(err)
         assert (err.line, err.column) == (1, 1)
 
-    def test_wrong_version(self):
-        err = error_for("OPENQASM 3.0;\nqreg q[1];")
+    @pytest.mark.parametrize("version", ["1.0", "4.0", "2.1"])
+    def test_wrong_version(self, version):
+        err = error_for(f"OPENQASM {version};\nqreg q[1];")
         assert "unsupported OpenQASM version" in str(err)
+        assert "2.0 and 3" in str(err)
         assert (err.line, err.column) == (1, 10)
 
     def test_missing_version(self):
@@ -200,12 +204,6 @@ class TestBadGateUsage:
 
 
 class TestUnsupportedFeatures:
-    def test_if_statement(self):
-        err = error_for(HEADER + "qreg q[1];\ncreg c[1];\nif (c == 1) x q[0];")
-        assert "unsupported feature" in str(err)
-        assert "if" in str(err)
-        assert (err.line, err.column) == (5, 1)
-
     def test_opaque_declaration(self):
         err = error_for(HEADER + "opaque magic a, b;")
         assert "unsupported feature" in str(err)
@@ -214,6 +212,163 @@ class TestUnsupportedFeatures:
     def test_non_qelib1_include(self):
         err = error_for('OPENQASM 2.0;\ninclude "mylib.inc";')
         assert 'unsupported include "mylib.inc"' in str(err)
+
+
+HEADER3 = 'OPENQASM 3;\ninclude "stdgates.inc";\n'
+
+
+class TestConditionalErrors:
+    """Malformed ``if`` statements must raise positioned QasmErrors."""
+
+    def test_missing_open_paren(self):
+        err = error_for(HEADER + "qreg q[1];\ncreg c[1];\nif c == 1 x q[0];")
+        assert "expected '('" in str(err)
+        assert err.line == 5
+
+    def test_single_equals_in_condition(self):
+        err = error_for(HEADER + "qreg q[1];\ncreg c[1];\nif (c = 1) x q[0];")
+        assert "expected '=='" in str(err)
+        assert (err.line, err.column) == (5, 7)
+
+    def test_missing_comparison_value(self):
+        err = error_for(HEADER + "qreg q[1];\ncreg c[1];\nif (c ==) x q[0];")
+        assert "integer comparison value" in str(err)
+
+    def test_real_comparison_value(self):
+        err = error_for(HEADER + "qreg q[1];\ncreg c[1];\nif (c == 1.5) x q[0];")
+        assert "integer comparison value" in str(err)
+
+    def test_undeclared_creg(self):
+        err = error_for(HEADER + "qreg q[1];\nif (c == 1) x q[0];")
+        assert "undeclared classical register 'c'" in str(err)
+        assert (err.line, err.column) == (4, 5)
+
+    def test_quantum_register_in_condition(self):
+        err = error_for(HEADER + "qreg q[1];\ncreg c[1];\nif (q == 1) x q[0];")
+        assert "'q' is a quantum register" in str(err)
+
+    def test_oversized_comparison_value(self):
+        err = error_for(HEADER + "qreg q[1];\ncreg c[2];\nif (c == 4) x q[0];")
+        assert "does not fit in classical register 'c' of size 2" in str(err)
+        assert (err.line, err.column) == (5, 10)
+
+    def test_negative_comparison_value(self):
+        # '-1' lexes as two tokens, so this fails at the value position
+        err = error_for(HEADER + "qreg q[1];\ncreg c[1];\nif (c == -1) x q[0];")
+        assert "integer comparison value" in str(err)
+
+    def test_conditioned_barrier_rejected(self):
+        err = error_for(HEADER + "qreg q[1];\ncreg c[1];\nif (c == 1) barrier q;")
+        assert "cannot be classically conditioned" in str(err)
+
+    def test_nested_if_rejected(self):
+        err = error_for(
+            HEADER + "qreg q[1];\ncreg c[1];\nif (c == 1) if (c == 1) x q[0];"
+        )
+        assert "cannot be classically conditioned" in str(err)
+
+    def test_conditioned_declaration_rejected(self):
+        err = error_for(HEADER + "qreg q[1];\ncreg c[1];\nif (c == 1) qreg r[1];")
+        assert "cannot be classically conditioned" in str(err)
+
+    def test_block_if_requires_qasm3(self):
+        # '{' after the condition is QASM3 block syntax, not 2.0
+        err = error_for(HEADER + "qreg q[1];\ncreg c[1];\nif (c == 1) { x q[0]; }")
+        assert "expected a conditioned operation" in str(err)
+
+    def test_empty_condition(self):
+        err = error_for(HEADER + "qreg q[1];\ncreg c[1];\nif () x q[0];")
+        assert "classical register name" in str(err)
+
+
+class TestQasm3Errors:
+    """QASM3-mode rejections: unsupported subset features stay positioned."""
+
+    @pytest.mark.parametrize(
+        "statement",
+        [
+            "for i in {0, 1} { x q[0]; }",
+            "while (c == 0) { x q[0]; }",
+            "def f() { }",
+            "const int n = 3;",
+            "input float theta;",
+            "float theta = 0.5;",
+            "negctrl @ x q[0], q[0];",
+            "pow(2) @ x q[0];",
+            "inv @ s q[0];",
+            "box { x q[0]; }",
+            "delay[100ns] q[0];",
+        ],
+    )
+    def test_unsupported_qasm3_feature(self, statement):
+        err = error_for(HEADER3 + "qubit[2] q;\nbit[2] c;\n" + statement)
+        assert "unsupported OpenQASM 3 feature" in str(err)
+        assert (err.line, err.column) == (5, 1)
+
+    def test_unsupported_feature_inside_if_block(self):
+        err = error_for(
+            HEADER3 + "qubit[1] q;\nbit[1] c;\nif (c == 1) { for i { } }"
+        )
+        assert "unsupported OpenQASM 3 feature" in str(err)
+
+    def test_qasm3_declarations_rejected_in_qasm2(self):
+        err = error_for(HEADER + "qubit[2] q;")
+        assert "require an 'OPENQASM 3;' header" in str(err)
+        assert (err.line, err.column) == (3, 1)
+
+    def test_bit_declaration_rejected_in_qasm2(self):
+        err = error_for(HEADER + "bit[2] c;")
+        assert "require an 'OPENQASM 3;' header" in str(err)
+
+    def test_ctrl_rejected_in_qasm2(self):
+        err = error_for(HEADER + "qreg q[2];\nctrl @ x q[0], q[1];")
+        assert "unknown gate 'ctrl'" in str(err)
+
+    def test_stdgates_include_rejected_in_qasm2(self):
+        err = error_for('OPENQASM 2.0;\ninclude "stdgates.inc";')
+        assert 'unsupported include "stdgates.inc"' in str(err)
+
+    def test_unknown_include_in_qasm3_names_both_bundled(self):
+        err = error_for('OPENQASM 3;\ninclude "mylib.inc";')
+        assert '"qelib1.inc" or "stdgates.inc"' in str(err)
+
+    def test_ctrl_without_at_sign(self):
+        err = error_for(HEADER3 + "qubit[2] q;\nctrl x q[0], q[1];")
+        assert "expected '@' after 'ctrl'" in str(err)
+
+    def test_ctrl_on_user_gate(self):
+        err = error_for(
+            HEADER3 + "qubit[2] q;\ngate mine a { x a; }\nctrl @ mine q[0], q[1];"
+        )
+        assert "'ctrl @' cannot be applied to user-defined gate 'mine'" in str(err)
+
+    def test_ctrl_arity_counts_controls(self):
+        err = error_for(HEADER3 + "qubit[2] q;\nctrl @ x q[0];")
+        assert "'ctrl @ x' expects 2 qubit argument(s), got 1" in str(err)
+
+    def test_assignment_rhs_must_be_measure(self):
+        err = error_for(HEADER3 + "qubit[1] q;\nbit[1] c;\nc[0] = x q[0];")
+        assert "only 'measure' may appear" in str(err)
+
+    def test_assignment_size_mismatch(self):
+        err = error_for(HEADER3 + "qubit[2] q;\nbit[1] c;\nc = measure q;")
+        assert "sizes differ" in str(err)
+
+    def test_zero_size_qubit_declaration(self):
+        err = error_for(HEADER3 + "qubit[0] q;")
+        assert "positive" in str(err)
+
+    def test_oversized_qubit_declaration(self):
+        err = error_for(HEADER3 + "qubit[9999999999] q;")
+        assert "exceeds the supported maximum" in str(err)
+
+    def test_duplicate_v3_register(self):
+        err = error_for(HEADER3 + "qubit[1] q;\nbit[1] q;")
+        assert "already declared" in str(err)
+
+    def test_unterminated_if_block(self):
+        err = error_for(HEADER3 + "qubit[1] q;\nbit[1] c;\nif (c == 1) { x q[0];")
+        assert "end of file" in str(err)
 
 
 class TestExpressionErrors:
@@ -306,8 +461,15 @@ class TestExpressionErrors:
 
 class TestLexicalErrors:
     def test_unexpected_character(self):
+        err = error_for(HEADER + "qreg q[1];\nx q[0]; $")
+        assert "unexpected character '$'" in str(err)
+        assert (err.line, err.column) == (4, 9)
+
+    def test_stray_at_symbol_is_a_parse_error_not_a_crash(self):
+        # '@' is a token now (for 'ctrl @'), so a stray one must fail in the
+        # parser with a position, not in the tokenizer
         err = error_for(HEADER + "qreg q[1];\nx q[0]; @")
-        assert "unexpected character '@'" in str(err)
+        assert "expected a statement" in str(err)
         assert (err.line, err.column) == (4, 9)
 
     def test_stray_number_statement(self):
